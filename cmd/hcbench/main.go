@@ -1,0 +1,90 @@
+// Command hcbench regenerates every experiment table of DESIGN.md's
+// per-experiment index and prints fitted scaling exponents. Its output is
+// the source of the measured columns in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hcbench                 # all experiments, default scale
+//	hcbench -only E2,E4     # a subset
+//	hcbench -scale 0.5 -trials 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dhc/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (E1,E2,E3,E4,E6,E8,D1)")
+		trials = flag.Int("trials", 3, "trials per sweep point")
+		scale  = flag.Float64("scale", 1, "multiplier on the default n grids")
+		seed   = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Trials: *trials, Scale: *scale, Seed: *seed}
+	runners := map[string]func(bench.Config) *bench.Table{
+		"E1": bench.E1, "E2": bench.E2, "E3": bench.E3,
+		"E4": bench.E4, "E6": bench.E6, "E8": bench.E8, "D1": bench.D1,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E6", "E8", "D1"}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		t := runners[id](cfg)
+		if err := t.Write(os.Stdout); err != nil {
+			return err
+		}
+		printFits(id, t)
+	}
+	return nil
+}
+
+// printFits reports log-log scaling exponents for the experiments where the
+// paper predicts one.
+func printFits(id string, t *bench.Table) {
+	switch id {
+	case "E1":
+		xs, ys := bench.Columns(t.Rows, bench.XN, bench.YSteps)
+		fmt.Printf("E1 fit: steps ~ n^%.3f (Theorem 2 predicts ~1 x log factor)\n\n",
+			bench.FitExponent(xs, ys))
+	case "E2":
+		xs, ys := bench.Columns(t.Rows, bench.XN, bench.YRounds)
+		fmt.Printf("E2 fit: rounds ~ n^%.3f (Theorem 1 predicts ~0.5 x polylog)\n\n",
+			bench.FitExponent(xs, ys))
+	case "E4":
+		byDelta := map[string][]bench.Row{}
+		for _, r := range t.Rows {
+			byDelta[r.Label] = append(byDelta[r.Label], r)
+		}
+		for label, rows := range byDelta {
+			xs, ys := bench.Columns(rows, bench.XN, bench.YRounds)
+			fmt.Printf("E4 fit %s: rounds ~ n^%.3f (Theorem 10 predicts ~delta x polylog)\n",
+				label, bench.FitExponent(xs, ys))
+		}
+		fmt.Println()
+	case "E6":
+		xs, ys := bench.Columns(t.Rows, bench.XN, bench.YRounds)
+		fmt.Printf("E6 fit: rounds ~ n^%.3f (Theorem 19 predicts ~1-delta regimes)\n\n",
+			bench.FitExponent(xs, ys))
+	}
+}

@@ -1,0 +1,107 @@
+// Command hcrun runs one Hamiltonian-cycle algorithm on one generated random
+// graph and prints the result and cost metrics.
+//
+// Usage:
+//
+//	hcrun -algo dhc2 -n 1024 -c 16 -delta 0.5 -seed 1 -engine step
+//	hcrun -algo upcast -n 512 -p 0.3 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dhc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algoName = flag.String("algo", "dhc2", "algorithm: dra, dhc1, dhc2, upcast")
+		n        = flag.Int("n", 1024, "number of vertices")
+		p        = flag.Float64("p", 0, "edge probability (overrides -c/-delta)")
+		c        = flag.Float64("c", 16, "density constant of p = c ln(n)/n^delta")
+		delta    = flag.Float64("delta", 0.5, "sparsity exponent delta")
+		seed     = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
+		engine   = flag.String("engine", "exact", "engine: exact or step")
+		workers  = flag.Int("workers", 1, "exact-engine parallel workers")
+		colors   = flag.Int("colors", 0, "override partition count K")
+		asJSON   = flag.Bool("json", false, "JSON output")
+		quiet    = flag.Bool("q", false, "suppress the cycle itself")
+	)
+	flag.Parse()
+
+	algo, err := dhc.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	prob := *p
+	if prob == 0 {
+		prob = dhc.ThresholdP(*n, *c, *delta)
+	}
+	g := dhc.NewGNP(*n, prob, *seed+1)
+	opts := dhc.Options{
+		Seed:      *seed,
+		Delta:     *delta,
+		NumColors: *colors,
+		Workers:   *workers,
+	}
+	switch *engine {
+	case "exact":
+		opts.Engine = dhc.EngineExact
+	case "step":
+		opts.Engine = dhc.EngineStep
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	res, err := dhc.Solve(g, algo, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out := map[string]any{
+			"algo":   algo.String(),
+			"n":      *n,
+			"m":      g.M(),
+			"p":      prob,
+			"rounds": res.Rounds,
+			"steps":  res.Steps,
+			"phase1": res.Phase1Rounds,
+			"phase2": res.Phase2Rounds,
+		}
+		if res.Counters != nil {
+			out["messages"] = res.Counters.Messages
+			out["bits"] = res.Counters.Bits
+			out["maxMemWords"] = res.Counters.MemoryDistribution().Max
+		}
+		if !*quiet {
+			out["cycle"] = res.Cycle.Order()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("%s on G(n=%d, p=%.5f) (m=%d): rounds=%d steps=%d\n",
+		algo, *n, prob, g.M(), res.Rounds, res.Steps)
+	if res.Phase1Rounds > 0 {
+		fmt.Printf("  phase1=%d rounds, phase2=%d rounds\n", res.Phase1Rounds, res.Phase2Rounds)
+	}
+	if res.Counters != nil {
+		mem := res.Counters.MemoryDistribution()
+		fmt.Printf("  messages=%d bits=%d maxMsgBits=%d memMax=%d memP50=%d\n",
+			res.Counters.Messages, res.Counters.Bits, res.Counters.MaxMessageBits,
+			mem.Max, mem.P50)
+	}
+	if !*quiet {
+		fmt.Printf("  cycle: %v\n", res.Cycle)
+	}
+	return nil
+}

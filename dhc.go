@@ -1,0 +1,264 @@
+// Package dhc is a Go reproduction of "Fast and Efficient Distributed
+// Computation of Hamiltonian Cycles in Random Graphs" (Chatterjee, Fathi,
+// Pandurangan, Pham — ICDCS 2018): randomized distributed algorithms that
+// find Hamiltonian cycles in G(n, p) random graphs in the synchronous
+// CONGEST model.
+//
+// The package exposes two engines:
+//
+//   - the exact engine simulates every CONGEST round and message, enforcing
+//     the O(log n)-bit per-edge bandwidth and metering rounds, messages,
+//     bits, and per-node memory (EngineExact);
+//   - the step engine executes the same algorithm logic at rotation-step
+//     granularity and charges the paper's round costs, scaling to millions
+//     of vertices (EngineStep).
+//
+// Quick start:
+//
+//	g := dhc.NewGNP(1024, dhc.ThresholdP(1024, 8, 0.5), 1)
+//	res, err := dhc.Solve(g, dhc.AlgorithmDHC2, dhc.Options{Seed: 2, Delta: 0.5})
+package dhc
+
+import (
+	"errors"
+	"fmt"
+
+	"dhc/internal/congest"
+	"dhc/internal/core"
+	"dhc/internal/cycle"
+	"dhc/internal/dra"
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/rng"
+	"dhc/internal/stepsim"
+	"dhc/internal/upcast"
+)
+
+// Graph re-exports the immutable undirected graph type.
+type Graph = graph.Graph
+
+// NodeID re-exports the vertex identifier type.
+type NodeID = graph.NodeID
+
+// Cycle re-exports the Hamiltonian-cycle result type.
+type Cycle = cycle.Cycle
+
+// Counters re-exports the exact engine's cost counters.
+type Counters = metrics.Counters
+
+// NewGNP samples an Erdős–Rényi G(n, p) random graph deterministically from
+// the seed.
+func NewGNP(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+// NewGNM samples a uniform n-vertex graph with exactly m edges.
+func NewGNM(n, m int, seed uint64) *Graph {
+	return graph.GNM(n, m, rng.New(seed))
+}
+
+// NewRandomRegular samples a d-regular random graph.
+func NewRandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, rng.New(seed))
+}
+
+// ThresholdP returns p = c·ln(n)/n^delta, the paper's edge-probability
+// parameterization (clamped to [0, 1]).
+func ThresholdP(n int, c, delta float64) float64 {
+	return graph.HCThresholdP(n, c, delta)
+}
+
+// Algorithm selects which of the paper's algorithms to run.
+type Algorithm int
+
+const (
+	// AlgorithmDRA is the standalone Distributed Rotation Algorithm
+	// (Algorithm 1), the building block of both DHC algorithms.
+	AlgorithmDRA Algorithm = iota + 1
+	// AlgorithmDHC1 is Algorithm 2: √n partitions plus a hypernode
+	// rotation (for p ≈ c·ln n/√n).
+	AlgorithmDHC1
+	// AlgorithmDHC2 is Algorithm 3: n^{1-δ} partitions plus ⌈log K⌉
+	// parallel pairwise merge levels (for p ≈ c·ln n/n^δ).
+	AlgorithmDHC2
+	// AlgorithmUpcast is the Section III centralized algorithm: sample
+	// Θ(log n) edges per node, upcast to a root, solve locally, downcast.
+	AlgorithmUpcast
+)
+
+var algorithmNames = map[Algorithm]string{
+	AlgorithmDRA:    "dra",
+	AlgorithmDHC1:   "dhc1",
+	AlgorithmDHC2:   "dhc2",
+	AlgorithmUpcast: "upcast",
+}
+
+// String returns the algorithm's short name.
+func (a Algorithm) String() string {
+	if s, ok := algorithmNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves a short name ("dra", "dhc1", "dhc2", "upcast").
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algorithmNames {
+		if name == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("dhc: unknown algorithm %q", s)
+}
+
+// Engine selects the simulation fidelity.
+type Engine int
+
+const (
+	// EngineExact simulates every CONGEST round and message.
+	EngineExact Engine = iota + 1
+	// EngineStep executes at rotation-step granularity with charged round
+	// costs; orders of magnitude faster for large n.
+	EngineStep
+)
+
+// Options configures Solve.
+type Options struct {
+	// Seed makes the run deterministic. Same graph + same seed = same
+	// cycle, metrics, everything.
+	Seed uint64
+	// Engine defaults to EngineExact.
+	Engine Engine
+	// Delta is DHC2's sparsity exponent (0 < δ ≤ 1); ignored elsewhere.
+	Delta float64
+	// NumColors overrides the partition count K for DHC1/DHC2.
+	NumColors int
+	// Workers enables the exact engine's parallel executor.
+	Workers int
+	// MaxAttempts bounds restart retries (step engine and partition DRA).
+	MaxAttempts int
+	// SamplesPerNode is Upcast's per-node edge sample count (0 = 3·ln n).
+	SamplesPerNode int
+}
+
+// Result is the outcome of a successful Solve.
+type Result struct {
+	// Cycle is the verified Hamiltonian cycle.
+	Cycle *Cycle
+	// Rounds is the CONGEST round count (measured or charged).
+	Rounds int64
+	// Steps is the rotation-step count across all phases.
+	Steps int64
+	// Counters holds full exact-engine metrics (nil for EngineStep).
+	Counters *Counters
+	// Phase1Rounds/Phase2Rounds split the total when the algorithm has two
+	// phases (zero otherwise).
+	Phase1Rounds int64
+	Phase2Rounds int64
+}
+
+// ErrNoHamiltonianCycle is returned when the run terminates without a valid
+// Hamiltonian cycle.
+var ErrNoHamiltonianCycle = errors.New("dhc: no Hamiltonian cycle found")
+
+// Solve runs the selected algorithm on g and returns the verified cycle and
+// cost metrics. All randomness derives from opts.Seed.
+func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	if opts.Engine == 0 {
+		opts.Engine = EngineExact
+	}
+	switch opts.Engine {
+	case EngineExact:
+		return solveExact(g, algo, opts)
+	case EngineStep:
+		return solveStep(g, algo, opts)
+	default:
+		return nil, fmt.Errorf("dhc: unknown engine %d", opts.Engine)
+	}
+}
+
+func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	netOpts := congest.Options{Workers: opts.Workers}
+	switch algo {
+	case AlgorithmDRA:
+		r, err := dra.Run(g, opts.Seed, dra.NodeOptions{}, netOpts)
+		if err != nil {
+			return nil, wrapNoHC(err)
+		}
+		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Steps: r.Steps, Counters: r.Counters}, nil
+	case AlgorithmDHC1:
+		r, err := core.RunDHC1(g, opts.Seed, core.DHC1Options{NumColors: opts.NumColors}, netOpts)
+		if err != nil {
+			return nil, wrapNoHC(err)
+		}
+		return fromCoreResult(r), nil
+	case AlgorithmDHC2:
+		r, err := core.RunDHC2(g, opts.Seed, core.DHC2Options{
+			Delta:     opts.Delta,
+			NumColors: opts.NumColors,
+		}, netOpts)
+		if err != nil {
+			return nil, wrapNoHC(err)
+		}
+		return fromCoreResult(r), nil
+	case AlgorithmUpcast:
+		r, err := upcast.Run(g, opts.Seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode}, netOpts)
+		if err != nil {
+			return nil, wrapNoHC(err)
+		}
+		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Counters: r.Counters}, nil
+	default:
+		return nil, fmt.Errorf("dhc: unknown algorithm %d", algo)
+	}
+}
+
+func solveStep(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	attempts := opts.MaxAttempts
+	if attempts == 0 {
+		attempts = 6
+	}
+	var (
+		hc   *Cycle
+		cost stepsim.Cost
+		err  error
+	)
+	switch algo {
+	case AlgorithmDRA:
+		hc, cost, err = stepsim.DRA(g, opts.Seed, attempts)
+	case AlgorithmDHC1:
+		hc, cost, err = stepsim.DHC1(g, opts.Seed, opts.NumColors, attempts)
+	case AlgorithmDHC2:
+		hc, cost, err = stepsim.DHC2(g, opts.Seed, opts.Delta, opts.NumColors, attempts)
+	case AlgorithmUpcast:
+		hc, cost, err = stepsim.Upcast(g, opts.Seed, opts.SamplesPerNode)
+	default:
+		return nil, fmt.Errorf("dhc: unknown algorithm %d", algo)
+	}
+	if err != nil {
+		return nil, wrapNoHC(err)
+	}
+	return &Result{
+		Cycle:        hc,
+		Rounds:       cost.Rounds,
+		Steps:        cost.Steps,
+		Phase1Rounds: cost.Phase1Rounds,
+		Phase2Rounds: cost.Phase2Rounds,
+	}, nil
+}
+
+func fromCoreResult(r *core.Result) *Result {
+	return &Result{
+		Cycle:        r.Cycle,
+		Rounds:       r.Counters.Rounds,
+		Counters:     r.Counters,
+		Phase1Rounds: r.Phase1Rounds,
+		Phase2Rounds: r.Counters.Rounds - r.Phase1Rounds,
+	}
+}
+
+func wrapNoHC(err error) error {
+	return fmt.Errorf("%w: %v", ErrNoHamiltonianCycle, err)
+}
+
+// Verify checks that c is a Hamiltonian cycle of g.
+func Verify(g *Graph, c *Cycle) error { return c.Verify(g) }

@@ -1,0 +1,99 @@
+package dhc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSolveAllAlgorithmsExact(t *testing.T) {
+	g := NewGNP(220, 0.7, 1)
+	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmDHC1, AlgorithmDHC2, AlgorithmUpcast} {
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := Solve(g, algo, Options{Seed: 2, NumColors: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, res.Cycle); err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds <= 0 {
+				t.Fatal("no rounds metered")
+			}
+		})
+	}
+}
+
+func TestSolveAllAlgorithmsStep(t *testing.T) {
+	g := NewGNP(600, 0.5, 3)
+	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmDHC1, AlgorithmDHC2, AlgorithmUpcast} {
+		t.Run(algo.String(), func(t *testing.T) {
+			res, err := Solve(g, algo, Options{Seed: 4, Engine: EngineStep, NumColors: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(g, res.Cycle); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolveFailsBelowThreshold(t *testing.T) {
+	g := NewGNP(100, 0.01, 5) // far below connectivity threshold
+	_, err := Solve(g, AlgorithmDRA, Options{Seed: 1, Engine: EngineStep})
+	if !errors.Is(err, ErrNoHamiltonianCycle) {
+		t.Fatalf("got %v, want ErrNoHamiltonianCycle", err)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"dra", "dhc1", "dhc2", "upcast"} {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != name {
+			t.Fatalf("round trip %q -> %q", name, a.String())
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestThresholdP(t *testing.T) {
+	if p := ThresholdP(10000, 2, 0.5); p <= 0 || p >= 1 {
+		t.Fatalf("threshold %v", p)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := NewGNP(50, 0.2, 1); g.N() != 50 {
+		t.Fatal("GNP wrong size")
+	}
+	if g := NewGNM(50, 100, 1); g.M() != 100 {
+		t.Fatal("GNM wrong edge count")
+	}
+	g, err := NewRandomRegular(50, 4, 1)
+	if err != nil || g.MinDegree() != 4 || g.MaxDegree() != 4 {
+		t.Fatalf("regular graph wrong: %v", err)
+	}
+}
+
+func TestDeterministicAPI(t *testing.T) {
+	g := NewGNP(150, 0.8, 9)
+	a, err := Solve(g, AlgorithmDHC2, Options{Seed: 7, NumColors: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, AlgorithmDHC2, Options{Seed: 7, NumColors: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, bo := a.Cycle.Order(), b.Cycle.Order()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatal("same seed produced different cycles")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Comparison: run all four algorithms (plus the paper's baselines) on
+// identical graphs across a small n sweep and print the round-count table —
+// a miniature of experiment E8.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dhc"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tp\talgo\trounds\tsteps")
+	for _, n := range []int{512, 1024, 2048} {
+		p := dhc.ThresholdP(n, 3, 0.5)
+		g := dhc.NewGNP(n, p, uint64(n))
+		for _, algo := range []dhc.Algorithm{
+			dhc.AlgorithmDRA, dhc.AlgorithmDHC1, dhc.AlgorithmDHC2, dhc.AlgorithmUpcast,
+		} {
+			res, err := dhc.Solve(g, algo, dhc.Options{
+				Seed:   uint64(n) + 1,
+				Engine: dhc.EngineStep,
+				Delta:  0.5,
+			})
+			if err != nil {
+				log.Fatalf("%s on n=%d: %v", algo, n, err)
+			}
+			fmt.Fprintf(w, "%d\t%.4f\t%s\t%d\t%d\n", n, p, algo, res.Rounds, res.Steps)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexpected shape: DHC1/DHC2 ~ sqrt(n)·polylog; DRA ~ n·polylog; Upcast ~ log(n)/p")
+}

@@ -1,0 +1,256 @@
+// Package congest simulates the synchronous CONGEST model of distributed
+// computing (Peleg 2000), the model of the paper. An n-node network runs in
+// lock-step rounds; in each round every node may send one small message
+// (O(log n) bits) along each incident edge, and messages sent in round r are
+// delivered at the start of round r+1.
+//
+// The simulator enforces the model's constraints — messages may only travel
+// along graph edges and may not exceed the per-edge bandwidth — and meters
+// rounds, messages, bits, per-node memory and per-node computation via
+// package metrics.
+//
+// Determinism: a run is a pure function of (graph, node programs, seed).
+// Each node receives its own RNG stream split from the run seed, and inboxes
+// are assembled in sender-id order, so the sequential and the parallel
+// executor produce identical executions.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/rng"
+	"dhc/internal/wire"
+)
+
+// Errors returned by Run. Callers match with errors.Is.
+var (
+	// ErrRoundLimit means the algorithm did not terminate within MaxRounds.
+	ErrRoundLimit = errors.New("congest: round limit exceeded")
+	// ErrBandwidth means a node tried to push more bits over one edge in
+	// one round than the model allows.
+	ErrBandwidth = errors.New("congest: per-edge bandwidth exceeded")
+	// ErrNotNeighbor means a node tried to message a non-neighbor.
+	ErrNotNeighbor = errors.New("congest: send to non-neighbor")
+)
+
+// Envelope is a delivered message together with its sender.
+type Envelope struct {
+	From graph.NodeID
+	Msg  wire.Message
+}
+
+// Node is one processor's program. Implementations keep all their state in
+// the struct; the simulator calls Init once before round 1 and then Round
+// once per round until the node halts.
+type Node interface {
+	// Init runs before the first round; the node may send initial messages.
+	Init(ctx *Context)
+	// Round processes the messages delivered this round and may send more.
+	Round(ctx *Context, inbox []Envelope)
+}
+
+// Context is a node's per-round handle to the simulator. It is only valid
+// during the Init or Round call that received it.
+type Context struct {
+	net    *Network
+	id     graph.NodeID
+	round  int64
+	rng    *rng.Source
+	outbox []routedMsg
+	halted bool
+	err    error
+
+	// per-call metric deltas, merged by the executor
+	memWords int64
+	workOps  int64
+}
+
+type routedMsg struct {
+	from, to graph.NodeID
+	msg      wire.Message
+}
+
+// ID returns this node's identifier.
+func (c *Context) ID() graph.NodeID { return c.id }
+
+// Round returns the current round number (0 during Init).
+func (c *Context) Round() int64 { return c.round }
+
+// N returns the network size, which the paper assumes is global knowledge.
+func (c *Context) N() int { return c.net.g.N() }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
+
+// Neighbors returns this node's neighbor list (shared; do not modify).
+func (c *Context) Neighbors() []graph.NodeID { return c.net.g.Neighbors(c.id) }
+
+// HasNeighbor reports whether v is adjacent.
+func (c *Context) HasNeighbor(v graph.NodeID) bool { return c.net.g.HasEdge(c.id, v) }
+
+// Rand returns this node's private deterministic RNG stream.
+func (c *Context) Rand() *rng.Source { return c.rng }
+
+// Send queues a message to neighbor `to` for delivery next round. Sending to
+// a non-neighbor records ErrNotNeighbor and aborts the run after this round.
+func (c *Context) Send(to graph.NodeID, m wire.Message) {
+	if !c.net.g.HasEdge(c.id, to) {
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: %d -> %d (%s)", ErrNotNeighbor, c.id, to, m)
+		}
+		return
+	}
+	c.outbox = append(c.outbox, routedMsg{from: c.id, to: to, msg: m})
+}
+
+// Halt marks this node finished; it will receive no further Round calls.
+// The run ends when every node has halted.
+func (c *Context) Halt() { c.halted = true }
+
+// ObserveMemory reports the node's current retained state size in words; the
+// simulator keeps the high-water mark per node.
+func (c *Context) ObserveMemory(words int64) {
+	if words > c.memWords {
+		c.memWords = words
+	}
+}
+
+// AddWork charges local computation to this node, for load-balance metrics.
+func (c *Context) AddWork(ops int64) { c.workOps += ops }
+
+// Options configures a Network.
+type Options struct {
+	// BandwidthBits is the per-edge per-direction per-round budget.
+	// Zero selects the default 8 * ceil(log2 n) bits, a constant number of
+	// node ids — the standard CONGEST allowance.
+	BandwidthBits int64
+	// MaxRounds aborts runs that fail to terminate. Zero selects
+	// 64 * n * ceil(log2 n) + 1024, comfortably above every algorithm's
+	// bound on its intended inputs.
+	MaxRounds int64
+	// Workers > 1 enables the parallel executor with that many goroutines.
+	Workers int
+	// FaultHook, if non-nil, intercepts every delivery: return false to
+	// drop the message, or return a mutated copy. Used by robustness tests.
+	FaultHook func(round int64, from, to graph.NodeID, m wire.Message) (wire.Message, bool)
+}
+
+// Network binds node programs to a graph and executes rounds.
+type Network struct {
+	g     *graph.Graph
+	nodes []Node
+	codec wire.Codec
+	opts  Options
+}
+
+// NewNetwork creates a network over g with one Node program per vertex.
+// len(nodes) must equal g.N().
+func NewNetwork(g *graph.Graph, nodes []Node, opts Options) (*Network, error) {
+	if len(nodes) != g.N() {
+		return nil, fmt.Errorf("congest: %d node programs for %d vertices", len(nodes), g.N())
+	}
+	codec := wire.NewCodec(g.N())
+	if opts.BandwidthBits == 0 {
+		opts.BandwidthBits = int64(8 * codec.IDBits)
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 64*int64(g.N())*int64(codec.IDBits) + 1024
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	return &Network{g: g, nodes: nodes, codec: codec, opts: opts}, nil
+}
+
+// Codec returns the codec sizing messages for this network.
+func (n *Network) Codec() wire.Codec { return n.codec }
+
+// Run executes the network until every node halts. It returns the metered
+// counters; on failure the counters reflect the partial run.
+func (n *Network) Run(seed uint64) (*metrics.Counters, error) {
+	counters := metrics.NewCounters(n.g.N())
+	root := rng.New(seed)
+
+	numNodes := n.g.N()
+	state := &runState{
+		halted:  make([]bool, numNodes),
+		rngs:    make([]*rng.Source, numNodes),
+		inboxes: make([][]Envelope, numNodes),
+	}
+	for v := 0; v < numNodes; v++ {
+		state.rngs[v] = root.Split(uint64(v))
+	}
+
+	exec := newExecutor(n, state, counters)
+
+	// Init phase (round 0).
+	if err := exec.step(0, true); err != nil {
+		return counters, err
+	}
+	for round := int64(1); ; round++ {
+		if state.allHalted() {
+			return counters, nil
+		}
+		if round > n.opts.MaxRounds {
+			return counters, fmt.Errorf("%w: %d rounds", ErrRoundLimit, n.opts.MaxRounds)
+		}
+		counters.Rounds++
+		if err := exec.step(round, false); err != nil {
+			return counters, err
+		}
+	}
+}
+
+type runState struct {
+	halted  []bool
+	rngs    []*rng.Source
+	inboxes [][]Envelope
+}
+
+func (s *runState) allHalted() bool {
+	for _, h := range s.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver routes outboxes into next-round inboxes, applying fault hooks,
+// bandwidth accounting and enforcement. Called single-threaded.
+func (n *Network) deliver(round int64, out []routedMsg, state *runState, counters *metrics.Counters) error {
+	// Per directed edge budget tracking.
+	type dirEdge struct{ from, to graph.NodeID }
+	used := make(map[dirEdge]int64)
+	next := make([][]Envelope, n.g.N())
+	for _, rm := range out {
+		msg := rm.msg
+		if n.opts.FaultHook != nil {
+			var deliverIt bool
+			msg, deliverIt = n.opts.FaultHook(round, rm.from, rm.to, msg)
+			if !deliverIt {
+				continue
+			}
+		}
+		sz := n.codec.Bits(msg)
+		key := dirEdge{from: rm.from, to: rm.to}
+		used[key] += sz
+		if used[key] > n.opts.BandwidthBits {
+			return fmt.Errorf("%w: edge %d->%d carried %d bits in round %d (budget %d)",
+				ErrBandwidth, rm.from, rm.to, used[key], round, n.opts.BandwidthBits)
+		}
+		counters.AddMessage(sz)
+		next[rm.to] = append(next[rm.to], Envelope{From: rm.from, Msg: msg})
+	}
+	// Deterministic inbox order: sort by sender id (stable within sender by
+	// send order, which sort.SliceStable preserves).
+	for v := range next {
+		sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		state.inboxes[v] = next[v]
+	}
+	return nil
+}

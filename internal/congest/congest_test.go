@@ -1,0 +1,350 @@
+package congest
+
+import (
+	"errors"
+	"testing"
+
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+	"dhc/internal/wire"
+)
+
+// floodNode floods a value: node 0 starts with its own id as the value; every
+// node adopts the minimum value it hears and forwards it once, then halts
+// after quietRounds rounds of silence. This exercises send/receive, rounds
+// and halting.
+type floodNode struct {
+	value   int32
+	sent    bool
+	quiet   int
+	adopted bool
+}
+
+func (f *floodNode) Init(ctx *Context) {
+	f.value = int32(ctx.ID())
+	if ctx.ID() == 0 {
+		f.adopted = true
+		for _, nb := range ctx.Neighbors() {
+			ctx.Send(nb, wire.Msg(wire.KindBroadcast, f.value))
+		}
+		f.sent = true
+	}
+}
+
+func (f *floodNode) Round(ctx *Context, inbox []Envelope) {
+	heard := false
+	for _, env := range inbox {
+		if env.Msg.Kind == wire.KindBroadcast && (!f.adopted || env.Msg.Arg(0) < f.value) {
+			f.value = env.Msg.Arg(0)
+			f.adopted = true
+			heard = true
+		}
+	}
+	if heard && !f.sent {
+		for _, nb := range ctx.Neighbors() {
+			ctx.Send(nb, wire.Msg(wire.KindBroadcast, f.value))
+		}
+		f.sent = true
+	}
+	if !heard {
+		f.quiet++
+	} else {
+		f.quiet = 0
+	}
+	ctx.ObserveMemory(4)
+	ctx.AddWork(int64(len(inbox) + 1))
+	if f.quiet >= ctx.N() { // conservative: diameter <= n
+		ctx.Halt()
+	}
+}
+
+func newFloodNet(t *testing.T, g *graph.Graph, opts Options) (*Network, []*floodNode) {
+	t.Helper()
+	progs := make([]*floodNode, g.N())
+	nodes := make([]Node, g.N())
+	for i := range progs {
+		progs[i] = &floodNode{}
+		nodes[i] = progs[i]
+	}
+	net, err := NewNetwork(g, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, progs
+}
+
+func TestFloodReachesEveryone(t *testing.T) {
+	g := graph.Ring(12)
+	net, progs := newFloodNet(t, g, Options{})
+	counters, err := net.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		if p.value != 0 {
+			t.Fatalf("node %d ended with value %d", i, p.value)
+		}
+	}
+	if counters.Rounds == 0 || counters.Messages == 0 {
+		t.Fatalf("counters empty: %v", counters)
+	}
+	// Flood on a ring sends 2 messages per node except duplicates at the
+	// antipode; at least n messages total.
+	if counters.Messages < int64(g.N()) {
+		t.Fatalf("too few messages: %d", counters.Messages)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.GNP(200, 0.05, rng.New(7))
+	netSeq, progsSeq := newFloodNet(t, g, Options{Workers: 1})
+	cSeq, err := netSeq.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netPar, progsPar := newFloodNet(t, g, Options{Workers: 8})
+	cPar, err := netPar.Run(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range progsSeq {
+		if progsSeq[i].value != progsPar[i].value {
+			t.Fatalf("node %d differs: seq=%d par=%d", i, progsSeq[i].value, progsPar[i].value)
+		}
+	}
+	if cSeq.Rounds != cPar.Rounds || cSeq.Messages != cPar.Messages || cSeq.Bits != cPar.Bits {
+		t.Fatalf("counters differ: seq=%v par=%v", cSeq, cPar)
+	}
+}
+
+// senderNode sends a configurable burst to neighbor 0 every round.
+type senderNode struct {
+	burst  int
+	target graph.NodeID
+	rounds int
+}
+
+func (s *senderNode) Init(ctx *Context) {}
+
+func (s *senderNode) Round(ctx *Context, inbox []Envelope) {
+	s.rounds++
+	if ctx.ID() == 1 && s.rounds == 1 {
+		for i := 0; i < s.burst; i++ {
+			ctx.Send(s.target, wire.Msg(wire.KindBroadcast, 1, 2, 3, 4))
+		}
+	}
+	if s.rounds >= 3 {
+		ctx.Halt()
+	}
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := graph.Path(3)
+	nodes := []Node{
+		&senderNode{burst: 0},
+		&senderNode{burst: 100, target: 0},
+		&senderNode{burst: 0},
+	}
+	net, err := NewNetwork(g, nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(1); !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("got %v, want ErrBandwidth", err)
+	}
+}
+
+func TestSendToNonNeighborFails(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 not adjacent
+	nodes := []Node{
+		&senderNode{burst: 1, target: 2}, // node 0 won't send (only node 1 sends)
+		&senderNode{burst: 1, target: 0},
+		&senderNode{burst: 0},
+	}
+	// Make node 0 the misbehaving sender by targeting node 2 directly.
+	bad := &badSender{}
+	nodes[0] = bad
+	net, err := NewNetwork(g, nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(1); !errors.Is(err, ErrNotNeighbor) {
+		t.Fatalf("got %v, want ErrNotNeighbor", err)
+	}
+}
+
+type badSender struct{}
+
+func (b *badSender) Init(ctx *Context) {
+	ctx.Send(2, wire.Msg(wire.KindBroadcast, 0)) // 2 is not a neighbor of 0 on Path(3)
+}
+func (b *badSender) Round(ctx *Context, inbox []Envelope) { ctx.Halt() }
+
+// spinner never halts.
+type spinner struct{}
+
+func (s *spinner) Init(ctx *Context)                    {}
+func (s *spinner) Round(ctx *Context, inbox []Envelope) {}
+
+func TestRoundLimit(t *testing.T) {
+	g := graph.Ring(4)
+	nodes := []Node{&spinner{}, &spinner{}, &spinner{}, &spinner{}}
+	net, err := NewNetwork(g, nodes, Options{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := net.Run(1)
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("got %v, want ErrRoundLimit", err)
+	}
+	if counters.Rounds != 10 {
+		t.Fatalf("rounds=%d, want 10", counters.Rounds)
+	}
+}
+
+func TestNodeCountMismatch(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := NewNetwork(g, []Node{&spinner{}}, Options{}); err == nil {
+		t.Fatal("mismatched node count accepted")
+	}
+}
+
+func TestFaultHookDropsMessages(t *testing.T) {
+	g := graph.Ring(8)
+	progs := make([]*floodNode, g.N())
+	nodes := make([]Node, g.N())
+	for i := range progs {
+		progs[i] = &floodNode{}
+		nodes[i] = progs[i]
+	}
+	// Drop everything: the flood never spreads and all nodes keep their id.
+	opts := Options{
+		FaultHook: func(round int64, from, to graph.NodeID, m wire.Message) (wire.Message, bool) {
+			return m, false
+		},
+	}
+	net, err := NewNetwork(g, nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := net.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Messages != 0 {
+		t.Fatalf("dropped messages were counted: %d", counters.Messages)
+	}
+	for i := 1; i < len(progs); i++ {
+		if progs[i].value != int32(i) {
+			t.Fatalf("node %d received a flood despite drops", i)
+		}
+	}
+}
+
+func TestMemoryAndWorkMetered(t *testing.T) {
+	g := graph.Ring(6)
+	net, _ := newFloodNet(t, g, Options{})
+	counters, err := net.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.MemoryDistribution().Max != 4 {
+		t.Fatalf("memory high-water %d, want 4", counters.MemoryDistribution().Max)
+	}
+	if counters.WorkDistribution().Total == 0 {
+		t.Fatal("work not metered")
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	// Star center receives from all leaves in one round; inbox must arrive
+	// sorted by sender id.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, graph.NodeID(v))
+	}
+	g := b.Build()
+	center := &inboxRecorder{}
+	nodes := []Node{center, &leafSender{}, &leafSender{}, &leafSender{}, &leafSender{}}
+	net, err := NewNetwork(g, nodes, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(center.senders) != 4 {
+		t.Fatalf("center heard %d senders, want 4", len(center.senders))
+	}
+	for i := 1; i < len(center.senders); i++ {
+		if center.senders[i-1] >= center.senders[i] {
+			t.Fatalf("inbox not sorted: %v", center.senders)
+		}
+	}
+}
+
+type leafSender struct{}
+
+func (l *leafSender) Init(ctx *Context) {
+	ctx.Send(0, wire.Msg(wire.KindBroadcast, int32(ctx.ID())))
+}
+func (l *leafSender) Round(ctx *Context, inbox []Envelope) { ctx.Halt() }
+
+type inboxRecorder struct {
+	senders []graph.NodeID
+}
+
+func (r *inboxRecorder) Init(ctx *Context) {}
+func (r *inboxRecorder) Round(ctx *Context, inbox []Envelope) {
+	for _, env := range inbox {
+		r.senders = append(r.senders, env.From)
+	}
+	ctx.Halt()
+}
+
+func TestRandIsPerNodeDeterministic(t *testing.T) {
+	g := graph.Ring(4)
+	collect := func() [][]uint64 {
+		recs := make([]*randRecorder, 4)
+		nodes := make([]Node, 4)
+		for i := range recs {
+			recs[i] = &randRecorder{}
+			nodes[i] = recs[i]
+		}
+		net, err := NewNetwork(g, nodes, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Run(99); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]uint64, 4)
+		for i, r := range recs {
+			out[i] = r.draws
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	for v := range a {
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatalf("node %d draw %d differs across identical runs", v, i)
+			}
+		}
+	}
+	if a[0][0] == a[1][0] {
+		t.Fatal("different nodes produced identical first draws (streams not split)")
+	}
+}
+
+type randRecorder struct {
+	draws []uint64
+}
+
+func (r *randRecorder) Init(ctx *Context) {}
+func (r *randRecorder) Round(ctx *Context, inbox []Envelope) {
+	r.draws = append(r.draws, ctx.Rand().Uint64())
+	if len(r.draws) >= 5 {
+		ctx.Halt()
+	}
+}

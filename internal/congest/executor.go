@@ -1,0 +1,96 @@
+package congest
+
+import (
+	"sync"
+
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+)
+
+// executor advances all live nodes by one round, either sequentially or with
+// a worker pool. Both produce identical executions: nodes use private RNG
+// streams, outboxes are concatenated in node-id order, and metric merging is
+// order-insensitive.
+type executor struct {
+	net      *Network
+	state    *runState
+	counters *metrics.Counters
+}
+
+func newExecutor(net *Network, state *runState, counters *metrics.Counters) *executor {
+	return &executor{net: net, state: state, counters: counters}
+}
+
+// step runs round `round` (or the Init phase when isInit). It invokes every
+// live node, merges metrics, and delivers outboxes.
+func (e *executor) step(round int64, isInit bool) error {
+	n := e.net.g.N()
+	ctxs := make([]*Context, n)
+
+	invoke := func(v int) {
+		if e.state.halted[v] {
+			return
+		}
+		ctx := &Context{
+			net:   e.net,
+			id:    graph.NodeID(v),
+			round: round,
+			rng:   e.state.rngs[v],
+		}
+		if isInit {
+			e.net.nodes[v].Init(ctx)
+		} else {
+			inbox := e.state.inboxes[v]
+			e.state.inboxes[v] = nil
+			e.net.nodes[v].Round(ctx, inbox)
+		}
+		ctxs[v] = ctx
+	}
+
+	if e.net.opts.Workers <= 1 {
+		for v := 0; v < n; v++ {
+			invoke(v)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < e.net.opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range work {
+					invoke(v)
+				}
+			}()
+		}
+		for v := 0; v < n; v++ {
+			work <- v
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Merge results in node-id order (single-threaded) so outbox
+	// concatenation and error selection are deterministic.
+	var out []routedMsg
+	for v := 0; v < n; v++ {
+		ctx := ctxs[v]
+		if ctx == nil {
+			continue
+		}
+		if ctx.err != nil {
+			return ctx.err
+		}
+		if ctx.halted {
+			e.state.halted[v] = true
+		}
+		if ctx.memWords > 0 {
+			e.counters.ObserveMemory(v, ctx.memWords)
+		}
+		if ctx.workOps > 0 {
+			e.counters.AddWork(v, ctx.workOps)
+		}
+		out = append(out, ctx.outbox...)
+	}
+	return e.net.deliver(round, out, e.state, e.counters)
+}

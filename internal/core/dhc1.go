@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dhc/internal/congest"
+	"dhc/internal/cycle"
+	"dhc/internal/dra"
+	"dhc/internal/graph"
+	"dhc/internal/rotation"
+)
+
+// DHC1Options configures a DHC1 run (paper Algorithm 2, for p = c·ln n/√n).
+type DHC1Options struct {
+	// NumColors overrides the number of partitions K (default round(√n)).
+	NumColors int
+	// B bounds broadcast/BFS settling times (0 = defaultB).
+	B int64
+	// MaxSteps overrides the per-partition DRA step budget.
+	MaxSteps int64
+	// HyperMaxSteps overrides the Phase 2 hypernode rotation budget
+	// (default 4 × the Theorem 2 budget for K, covering probe rejections).
+	HyperMaxSteps int64
+}
+
+// dhc1Node is the per-node program: shared Phase 1, then the hypernode
+// rotation of Phase 2.
+type dhc1Node struct {
+	cfg      phase1Config
+	hyperMax int64
+	numK     int32
+	p1       phase1
+	hp       hyperPhase
+	stage    int
+}
+
+var _ congest.Node = (*dhc1Node)(nil)
+
+func (d *dhc1Node) Init(ctx *congest.Context) {
+	d.stage = 1
+	d.p1 = phase1{cfg: d.cfg}
+	d.p1.init(ctx)
+}
+
+func (d *dhc1Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
+	if d.stage == 1 {
+		if d.p1.tick(ctx, inbox) {
+			d.stage = 2
+			if d.numK == 1 {
+				// Single partition: Phase 1's cycle is the answer.
+				if d.p1.succeeded() {
+					ctx.Halt()
+					return
+				}
+			}
+			d.hp = hyperPhase{B: d.cfg.B, K: d.numK, maxSteps: d.hyperMax}
+			var cycindex int32
+			succ, pred := graph.NodeID(-1), graph.NodeID(-1)
+			if d.p1.succeeded() {
+				cycindex = d.p1.dra.CycleIndex()
+				succ, pred = d.p1.dra.Succ(), d.p1.dra.Pred()
+			}
+			d.hp.start(d.p1.color, cycindex, int32(d.p1.scopeSize), succ, pred, d.p1.phase2Start)
+		}
+		return
+	}
+	if d.numK == 1 {
+		ctx.Halt()
+		return
+	}
+	if ctx.Round() < d.hp.phaseStart {
+		return
+	}
+	if d.hp.tick(ctx, inbox, d.p1.leader, d.p1.inScope) {
+		ctx.Halt()
+	}
+}
+
+// RunDHC1 executes DHC1 on g and returns the verified Hamiltonian cycle.
+func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Options) (*Result, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, fmt.Errorf("core: need n >= 3, got %d", n)
+	}
+	numColors := opts.NumColors
+	if numColors <= 0 {
+		numColors = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if numColors > n/3 {
+		numColors = n / 3
+	}
+	if numColors < 1 {
+		numColors = 1
+	}
+	b := opts.B
+	if b == 0 {
+		b = defaultB(g)
+	}
+	cfg := phase1Config{NumColors: int32(numColors), B: b, MaxSteps: opts.MaxSteps}
+	if netOpts.MaxRounds == 0 {
+		scope := 3 * n / numColors
+		steps := rotation.DefaultMaxSteps(scope)
+		hyperSteps := 4 * rotation.DefaultMaxSteps(numColors)
+		netOpts.MaxRounds = 4*b + 8 + steps*(b+3) + hyperSteps*(b+4) + 8*b + 2048
+	}
+	progs := make([]*dhc1Node, n)
+	nodes := make([]congest.Node, n)
+	for i := range nodes {
+		progs[i] = &dhc1Node{cfg: cfg, numK: int32(numColors), hyperMax: opts.HyperMaxSteps}
+		nodes[i] = progs[i]
+	}
+	net, err := congest.NewNetwork(g, nodes, netOpts)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := net.Run(seed)
+	if err != nil {
+		return nil, fmt.Errorf("dhc1: %w", err)
+	}
+	res := &Result{
+		Counters:       counters,
+		PartitionSizes: make([]int, numColors),
+	}
+	hc, err := extractDHC1(g, progs, numColors, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Cycle = hc
+	return res, nil
+}
+
+// extractDHC1 reassembles the full Hamiltonian cycle from per-node states:
+// partition subcycles from Phase 1 plus hypernode (index, orientation, port)
+// assignments from Phase 2.
+func extractDHC1(g *graph.Graph, progs []*dhc1Node, numColors int, res *Result) (*cycle.Cycle, error) {
+	n := g.N()
+	type hyp struct {
+		idx     int32
+		reverse bool
+		u, v    graph.NodeID
+	}
+	hyps := make([]hyp, numColors)
+	succ := make([]graph.NodeID, n)
+	pred := make([]graph.NodeID, n)
+	for v, p := range progs {
+		if !p.p1.succeeded() {
+			return nil, fmt.Errorf("%w: node %d partition DRA failed", ErrNoHC, v)
+		}
+		res.Phase1Rounds = p.p1.phase2Start
+		c := int(p.p1.color)
+		if c < 0 || c >= numColors {
+			return nil, fmt.Errorf("%w: node %d has invalid color %d", ErrNoHC, v, c)
+		}
+		res.PartitionSizes[c]++
+		succ[v] = p.p1.dra.Succ()
+		pred[v] = p.p1.dra.Pred()
+		if numColors > 1 {
+			if p.hp.status != dra.Succeeded {
+				return nil, fmt.Errorf("%w: node %d phase 2 status %d", ErrNoHC, v, p.hp.status)
+			}
+			if p.hp.isUPort {
+				hyps[c].u = graph.NodeID(v)
+				hyps[c].idx = p.hp.hypIdx
+				hyps[c].reverse = p.hp.reverse
+			}
+			if p.hp.isVPort {
+				hyps[c].v = graph.NodeID(v)
+			}
+		}
+	}
+	if numColors == 1 {
+		hc, err := cycle.FromSuccessors(succMap(succ), 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoHC, err)
+		}
+		if err := hc.Verify(g); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNoHC, err)
+		}
+		return hc, nil
+	}
+	sort.Slice(hyps, func(i, j int) bool { return hyps[i].idx < hyps[j].idx })
+	order := make([]graph.NodeID, 0, n)
+	for i, hy := range hyps {
+		if hy.idx != int32(i+1) {
+			return nil, fmt.Errorf("%w: hypernode indices not a permutation (saw %d at rank %d)",
+				ErrNoHC, hy.idx, i+1)
+		}
+		// Walk the partition subcycle from the entry port to the exit port.
+		var from, to graph.NodeID
+		var next []graph.NodeID
+		if !hy.reverse {
+			from, to, next = hy.u, hy.v, succ
+		} else {
+			from, to, next = hy.v, hy.u, pred
+		}
+		w := from
+		for steps := 0; ; steps++ {
+			if steps > n {
+				return nil, fmt.Errorf("%w: partition walk did not close", ErrNoHC)
+			}
+			order = append(order, w)
+			if w == to {
+				break
+			}
+			w = next[w]
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: spliced %d of %d vertices", ErrNoHC, len(order), n)
+	}
+	hc := cycle.FromOrder(order)
+	if err := hc.Verify(g); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoHC, err)
+	}
+	return hc, nil
+}
+
+func succMap(succ []graph.NodeID) map[graph.NodeID]graph.NodeID {
+	m := make(map[graph.NodeID]graph.NodeID, len(succ))
+	for v, s := range succ {
+		m[graph.NodeID(v)] = s
+	}
+	return m
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dhc/internal/congest"
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/rotation"
+)
+
+// ErrNoHC is returned when a run terminates without producing a valid
+// Hamiltonian cycle (a low-probability event on graphs above the threshold,
+// certain on graphs below it).
+var ErrNoHC = errors.New("core: run did not produce a Hamiltonian cycle")
+
+// DHC2Options configures a DHC2 run (Algorithm 3).
+type DHC2Options struct {
+	// Delta is the sparsity exponent δ of p = c·ln n / n^δ; the number of
+	// partitions is K = round(n^{1-δ}). Must be in (0, 1].
+	Delta float64
+	// NumColors overrides K directly when positive (Delta then unused).
+	NumColors int
+	// B bounds every broadcast/BFS settling time. Zero selects
+	// max(2·ecc(0)+1, 3·⌈log₂ n⌉+6), safe whp for threshold random
+	// graphs and their partitions.
+	B int64
+	// MaxSteps overrides the per-partition DRA step budget.
+	MaxSteps int64
+}
+
+// dhc2Node is the per-node program: Phase 1 (shared) then tree merging.
+type dhc2Node struct {
+	cfg   phase1Config
+	p1    phase1
+	mp    mergePhase
+	stage int
+}
+
+var _ congest.Node = (*dhc2Node)(nil)
+
+func (d *dhc2Node) Init(ctx *congest.Context) {
+	d.stage = 1
+	d.p1 = phase1{cfg: d.cfg}
+	d.p1.init(ctx)
+}
+
+func (d *dhc2Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
+	if d.stage == 1 {
+		if d.p1.tick(ctx, inbox) {
+			d.stage = 2
+			d.mp = mergePhase{B: d.cfg.B, K: d.cfg.NumColors}
+			succ, pred := graph.NodeID(-1), graph.NodeID(-1)
+			if d.p1.dra != nil {
+				succ, pred = d.p1.dra.Succ(), d.p1.dra.Pred()
+			}
+			d.mp.start(d.p1.color, succ, pred, d.p1.phase2Start)
+		}
+		return
+	}
+	if ctx.Round() < d.mp.levelStart {
+		return // waiting for the common Phase 2 start round
+	}
+	if d.mp.tick(ctx, inbox) {
+		ctx.Halt()
+	}
+}
+
+// Result carries a successful run's output and cost.
+type Result struct {
+	Cycle    *cycle.Cycle
+	Counters *metrics.Counters
+	// PartitionSizes are the Phase 1 color-class sizes.
+	PartitionSizes []int
+	// Phase1Rounds is the common Phase 2 start round, i.e. the cost of
+	// Phase 1 including its barrier.
+	Phase1Rounds int64
+	// MergeLevels is ⌈log₂ K⌉ for DHC2 (0 for DHC1).
+	MergeLevels int
+}
+
+// defaultB returns the broadcast bound used when the caller does not set one.
+func defaultB(g *graph.Graph) int64 {
+	ecc := int64(g.BFS(0).Ecc)
+	logB := int64(3*intLog2(g.N()) + 6)
+	if 2*ecc+1 > logB {
+		return 2*ecc + 1
+	}
+	return logB
+}
+
+func intLog2(n int) int {
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// RunDHC2 executes DHC2 on g and returns the verified Hamiltonian cycle.
+func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Options) (*Result, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, fmt.Errorf("core: need n >= 3, got %d", n)
+	}
+	numColors := opts.NumColors
+	if numColors <= 0 {
+		if opts.Delta <= 0 || opts.Delta > 1 {
+			return nil, fmt.Errorf("core: delta %v outside (0, 1]", opts.Delta)
+		}
+		numColors = int(math.Round(math.Pow(float64(n), 1-opts.Delta)))
+	}
+	if numColors < 1 {
+		numColors = 1
+	}
+	if numColors > n/3 {
+		numColors = n / 3 // partitions must be able to hold a 3-cycle
+	}
+	if numColors < 1 {
+		numColors = 1
+	}
+	b := opts.B
+	if b == 0 {
+		b = defaultB(g)
+	}
+	cfg := phase1Config{NumColors: int32(numColors), B: b, MaxSteps: opts.MaxSteps}
+	if netOpts.MaxRounds == 0 {
+		netOpts.MaxRounds = dhc2RoundBudget(n, numColors, b)
+	}
+	progs := make([]*dhc2Node, n)
+	nodes := make([]congest.Node, n)
+	for i := range nodes {
+		progs[i] = &dhc2Node{cfg: cfg}
+		nodes[i] = progs[i]
+	}
+	net, err := congest.NewNetwork(g, nodes, netOpts)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := net.Run(seed)
+	if err != nil {
+		return nil, fmt.Errorf("dhc2: %w", err)
+	}
+	res := &Result{
+		Counters:       counters,
+		PartitionSizes: make([]int, numColors),
+		MergeLevels:    int((&mergePhase{K: int32(numColors)}).levels()),
+	}
+	succ := make(map[graph.NodeID]graph.NodeID, n)
+	for v, p := range progs {
+		if !p.p1.succeeded() {
+			return nil, fmt.Errorf("%w: node %d partition DRA failed", ErrNoHC, v)
+		}
+		if c := int(p.p1.color); c >= 0 && c < numColors {
+			res.PartitionSizes[c]++
+		}
+		res.Phase1Rounds = p.p1.phase2Start
+		succ[graph.NodeID(v)] = p.mp.succ
+	}
+	hc, err := cycle.FromSuccessors(succ, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: merged pointers: %v", ErrNoHC, err)
+	}
+	if err := hc.Verify(g); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoHC, err)
+	}
+	res.Cycle = hc
+	return res, nil
+}
+
+// dhc2RoundBudget upper-bounds a run's rounds for the simulator's watchdog:
+// Phase 1 scaffolding + worst-case DRA (every step pays a broadcast) +
+// merge levels.
+func dhc2RoundBudget(n, numColors int, b int64) int64 {
+	scope := 3 * n / numColors // generous partition-size bound
+	steps := rotation.DefaultMaxSteps(scope)
+	levels := int64((&mergePhase{K: int32(numColors)}).levels())
+	return 4*b + 8 + steps*(b+3) + levels*(2*b+10) + 4*b + 1024
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dhc/internal/congest"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+func TestDHC2OnCompleteGraph(t *testing.T) {
+	g := graph.Complete(60)
+	res, err := RunDHC2(g, 1, DHC2Options{NumColors: 4, B: 8}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycle.Len() != g.N() {
+		t.Fatalf("cycle covers %d of %d", res.Cycle.Len(), g.N())
+	}
+	if res.MergeLevels != 2 {
+		t.Fatalf("merge levels %d, want 2", res.MergeLevels)
+	}
+	total := 0
+	for _, s := range res.PartitionSizes {
+		total += s
+	}
+	if total != g.N() {
+		t.Fatalf("partition sizes sum to %d", total)
+	}
+}
+
+func TestDHC2OnDenseGNP(t *testing.T) {
+	// Dense random graph, K = 5 partitions of expected size 64 with
+	// in-partition degree ~38 >> ln(64): comfortably above the rotation
+	// threshold (the Theorem 2 analysis wants degree >= c*ln(n') with a
+	// large constant; see EXPERIMENTS.md on constant sensitivity).
+	g := graph.GNP(320, 0.6, rng.New(2))
+	res, err := RunDHC2(g, 3, DHC2Options{NumColors: 5, B: 10}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Cycle.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.Phase1Rounds <= 0 || res.Counters.Rounds <= res.Phase1Rounds {
+		t.Fatalf("phase accounting wrong: phase1=%d total=%d",
+			res.Phase1Rounds, res.Counters.Rounds)
+	}
+}
+
+func TestDHC2WithDeltaParameter(t *testing.T) {
+	// delta = 0.5 on n = 256 gives K = 16 partitions of ~16 nodes; use a
+	// dense graph so every partition is comfortably Hamiltonian.
+	g := graph.GNP(256, 0.9, rng.New(4))
+	res, err := RunDHC2(g, 5, DHC2Options{Delta: 0.5, B: 10}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PartitionSizes) != 16 {
+		t.Fatalf("K=%d, want 16", len(res.PartitionSizes))
+	}
+}
+
+func TestDHC2SingleColorDegeneratesToDRA(t *testing.T) {
+	// K=1: Phase 1 is a single whole-graph DRA and Phase 2 has zero levels.
+	g := graph.Complete(30)
+	res, err := RunDHC2(g, 7, DHC2Options{NumColors: 1, B: 6}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergeLevels != 0 {
+		t.Fatalf("merge levels %d, want 0", res.MergeLevels)
+	}
+	if res.Cycle.Len() != 30 {
+		t.Fatal("incomplete cycle")
+	}
+}
+
+func TestDHC2FailsCleanlyBelowThreshold(t *testing.T) {
+	// A ring has no partition subcycles: every partition DRA must fail and
+	// the run must return an error rather than hang.
+	g := graph.Ring(64)
+	_, err := RunDHC2(g, 1, DHC2Options{NumColors: 4, B: 70}, congest.Options{})
+	if err == nil {
+		t.Fatal("ring accepted")
+	}
+}
+
+func TestDHC2RejectsBadParams(t *testing.T) {
+	g := graph.Complete(10)
+	if _, err := RunDHC2(g, 1, DHC2Options{Delta: 0}, congest.Options{}); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+	if _, err := RunDHC2(g, 1, DHC2Options{Delta: 1.5}, congest.Options{}); err == nil {
+		t.Fatal("delta=1.5 accepted")
+	}
+	if _, err := RunDHC2(graph.Complete(2), 1, DHC2Options{NumColors: 1}, congest.Options{}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestDHC2DeterministicAcrossExecutors(t *testing.T) {
+	g := graph.GNP(200, 0.8, rng.New(11))
+	seq, err := RunDHC2(g, 9, DHC2Options{NumColors: 8, B: 10}, congest.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunDHC2(g, 9, DHC2Options{NumColors: 8, B: 10}, congest.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, po := seq.Cycle.Order(), par.Cycle.Order()
+	for i := range so {
+		if so[i] != po[i] {
+			t.Fatal("executors disagree")
+		}
+	}
+}
+
+func TestDHC2MemorySublinear(t *testing.T) {
+	g := graph.GNP(300, 0.7, rng.New(13))
+	res, err := RunDHC2(g, 2, DHC2Options{NumColors: 6, B: 10}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMem := res.Counters.MemoryDistribution().Max
+	// Memory is O(degree + partition size) words: neighbor colors dominate.
+	bound := 3 * int64(g.MaxDegree()+g.N()/6)
+	if maxMem > bound {
+		t.Fatalf("per-node memory %d words exceeds O(deg) bound %d", maxMem, bound)
+	}
+}
+
+func TestDHC2SuccessRateAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	ok := 0
+	const trials = 5
+	for seed := uint64(0); seed < trials; seed++ {
+		g := graph.GNP(240, 0.75, rng.New(300+seed))
+		if _, err := RunDHC2(g, seed, DHC2Options{NumColors: 6, B: 10}, congest.Options{}); err == nil {
+			ok++
+		} else if !errors.Is(err, ErrNoHC) {
+			t.Fatalf("seed %d: unexpected error class: %v", seed, err)
+		}
+	}
+	if ok < trials-1 {
+		t.Fatalf("only %d/%d runs succeeded on dense graphs", ok, trials)
+	}
+}

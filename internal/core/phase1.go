@@ -1,0 +1,268 @@
+// Package core implements the paper's primary contribution: the
+// fully-distributed Hamiltonian-cycle algorithms DHC1 (Algorithm 2, for
+// p = c·ln n/√n) and DHC2 (Algorithm 3, for p = c·ln n/n^δ).
+//
+// Both algorithms share Phase 1: every node picks one of K colors uniformly
+// at random, the color classes induce ~K partitions of expected size n/K,
+// and each partition runs an independent Distributed Rotation Algorithm
+// (package dra) in parallel to build its own sub-Hamiltonian-cycle. DHC1
+// uses K = round(√n); DHC2 uses K = round(n^{1-δ}).
+//
+// Phase 1 needs three pieces of scaffolding the paper assumes implicitly:
+// the partition must agree on an initial head (scoped min-id election), the
+// DRA success test needs the partition size |V_i| (scoped BFS + convergecast
+// count), and the network must agree when Phase 2 starts even though
+// partitions finish DRA at different times (a global barrier over a BFS tree
+// rooted at node 0). All three cost O(diameter) rounds per use and stay
+// within the paper's round budgets.
+package core
+
+import (
+	"dhc/internal/congest"
+	"dhc/internal/dra"
+	"dhc/internal/graph"
+	"dhc/internal/proto"
+	"dhc/internal/rotation"
+	"dhc/internal/wire"
+)
+
+// Tags for concurrent protocol instances.
+const (
+	tagGlobalTree int32 = 0   // network-wide BFS tree (barrier substrate)
+	tagScopeTree  int32 = 1   // per-partition BFS tree (size count)
+	tagPhase1DRA  int32 = 100 // DRA sessions of Phase 1 (tag 100+attempt)
+	tagPhase2DRA  int32 = 2   // hypernode rotation of DHC1 Phase 2
+)
+
+// maxDRAAttempts bounds partition-local DRA restarts. The paper's analysis
+// gives per-attempt failure O(1/n'^3), which is negligible asymptotically
+// but noticeable at small partition sizes; restarting on the (scope-wide
+// visible) failure flood drives the partition failure probability down
+// exponentially in the attempt count at O(D) extra rounds per attempt. This
+// is an engineering extension documented in DESIGN.md.
+const maxDRAAttempts = 6
+
+// phase1Config parameterizes the shared first phase.
+type phase1Config struct {
+	// NumColors is K, the number of partitions.
+	NumColors int32
+	// B upper-bounds every broadcast/BFS settling time (global and scope
+	// diameters).
+	B int64
+	// MaxSteps overrides the per-partition DRA step budget (0 = Theorem 2
+	// default for the counted partition size).
+	MaxSteps int64
+}
+
+// phase1 is the per-node state of the shared first phase. The embedding node
+// calls init from congest.Node.Init and tick once per round; tick returns
+// true once Phase 1 (including the global barrier) is complete at this node.
+type phase1 struct {
+	cfg phase1Config
+
+	color   int32
+	nbColor map[graph.NodeID]int32
+
+	electBest graph.NodeID
+	leader    bool
+
+	globalBFS *proto.BFSState
+	barrier   *proto.Barrier
+	scopeBFS  *proto.BFSState
+	counter   *proto.Counter
+
+	dra       *dra.State
+	scopeSize int
+	attempts  int
+	restartAt int64
+
+	phase2Start int64 // common start round for Phase 2, set at barrier release
+	arrived     bool
+}
+
+// Phase boundaries, in absolute rounds (B = cfg.B):
+//
+//	round 0 (Init): pick color, announce to neighbors, start global BFS
+//	rounds 1..B:    global BFS settles; round 1 records neighbor colors and
+//	                starts the scoped election
+//	rounds 2..B+1:  scoped election settles
+//	round B+2:      scope leader starts the partition BFS
+//	rounds B+3..2B+2: partition BFS settles
+//	round 2B+3:     partition size convergecast begins
+//	rounds ..4B+7:  count settles everywhere
+//	round 4B+8:     per-partition DRA begins (adaptive length)
+//	then:           global barrier 0; Phase 2 starts at barrier.StartRound(0)
+func (p *phase1) electStart() int64    { return 1 }
+func (p *phase1) electEnd() int64      { return p.cfg.B + 1 }
+func (p *phase1) scopeBFSStart() int64 { return p.cfg.B + 2 }
+func (p *phase1) countStart() int64    { return 2*p.cfg.B + 3 }
+func (p *phase1) draStart() int64      { return 4*p.cfg.B + 8 }
+
+func (p *phase1) init(ctx *congest.Context) {
+	p.color = int32(ctx.Rand().Intn(int(p.cfg.NumColors)))
+	p.nbColor = make(map[graph.NodeID]int32, ctx.Degree())
+	p.electBest = ctx.ID()
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(nb, wire.Msg(wire.KindColor, p.color))
+	}
+	p.globalBFS = proto.NewBFSState(0)
+	p.globalBFS.Tag = tagGlobalTree
+	p.globalBFS.Start(ctx)
+}
+
+// inScope reports whether neighbor nb is in this node's partition.
+func (p *phase1) inScope(nb graph.NodeID) bool {
+	c, ok := p.nbColor[nb]
+	return ok && c == p.color
+}
+
+// tick advances Phase 1 by one round; returns true once complete.
+func (p *phase1) tick(ctx *congest.Context, inbox []congest.Envelope) bool {
+	round := ctx.Round()
+
+	// Color records arrive in round 1 and drive everything scoped.
+	for _, env := range inbox {
+		if env.Msg.Kind == wire.KindColor {
+			p.nbColor[env.From] = env.Msg.Arg(0)
+		}
+	}
+
+	// Global tree building and barrier traffic flow on their own kinds and
+	// can be absorbed every round.
+	p.globalBFS.Absorb(ctx, inbox)
+	if p.barrier == nil && round >= p.cfg.B {
+		// Tree final: barrier machinery becomes available.
+		p.barrier = proto.NewBarrier(p.globalBFS, p.cfg.B+2)
+	}
+	if p.barrier != nil {
+		p.barrier.Absorb(ctx, inbox)
+	}
+
+	switch {
+	case round == p.electStart():
+		p.sendCandidates(ctx)
+	case round > p.electStart() && round <= p.electEnd():
+		p.absorbCandidates(ctx, inbox)
+	case round == p.scopeBFSStart():
+		p.absorbCandidates(ctx, inbox) // stragglers from the last send
+		p.leader = p.electBest == ctx.ID()
+		p.scopeBFS = proto.NewScopedBFSState(p.electBest, p.inScope)
+		p.scopeBFS.Tag = tagScopeTree
+		if p.leader {
+			p.scopeBFS.Start(ctx)
+		}
+	case round > p.scopeBFSStart() && round < p.countStart():
+		p.scopeBFS.Absorb(ctx, inbox)
+	case round >= p.countStart() && round < p.draStart():
+		if p.counter == nil {
+			p.counter = proto.NewCounter(p.scopeBFS, 1, tagScopeTree)
+		}
+		p.counter.Tick(ctx, inbox)
+	case round >= p.draStart():
+		return p.tickDRA(ctx, inbox)
+	}
+	ctx.ObserveMemory(p.memoryWords())
+	return false
+}
+
+func (p *phase1) tickDRA(ctx *congest.Context, inbox []congest.Envelope) bool {
+	if p.dra == nil {
+		p.scopeSize = 0
+		if p.counter != nil && p.counter.Done() {
+			p.scopeSize = int(p.counter.Total)
+		}
+		p.dra = p.newDRAState(ctx, p.draStart())
+	}
+	p.dra.Tick(ctx, inbox)
+	if p.dra.Status() == dra.Failed && !p.arrived &&
+		p.attempts+1 < maxDRAAttempts && p.scopeSize >= 3 {
+		// Retry after a quiet period long enough for every stale flood of
+		// the failed session to drain (<= B rounds past the terminal
+		// flood's origin). All scope nodes compute the same restart round
+		// from the flooded terminal round, so the session stays in step.
+		if p.restartAt == 0 {
+			p.restartAt = p.dra.TerminalRound() + 2*p.cfg.B + 2
+		}
+		if ctx.Round() >= p.restartAt {
+			p.attempts++
+			p.restartAt = 0
+			p.dra = p.newDRAState(ctx, ctx.Round()+1)
+		}
+		ctx.ObserveMemory(p.memoryWords())
+		return false
+	}
+	if p.dra.Status() != dra.Running && !p.arrived {
+		p.arrived = true
+		p.barrier.Arrive(ctx, 0)
+	}
+	ctx.ObserveMemory(p.memoryWords())
+	if p.arrived && p.barrier.Released(0) {
+		p.phase2Start = p.barrier.StartRound(0)
+		return true
+	}
+	return false
+}
+
+func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State {
+	maxSteps := p.cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = rotation.DefaultMaxSteps(p.scopeSize)
+	}
+	return dra.NewState(ctx, dra.Params{
+		ScopeSize:       p.scopeSize,
+		IsInitialHead:   p.leader,
+		InScope:         p.inScope,
+		BroadcastRounds: p.cfg.B,
+		StartRound:      startRound,
+		Tag:             tagPhase1DRA + int32(p.attempts),
+		MaxSteps:        maxSteps,
+	})
+}
+
+func (p *phase1) sendCandidates(ctx *congest.Context) {
+	for _, nb := range ctx.Neighbors() {
+		if p.inScope(nb) {
+			ctx.Send(nb, wire.Msg(wire.KindCandidate, int32(p.electBest)))
+		}
+	}
+}
+
+func (p *phase1) absorbCandidates(ctx *congest.Context, inbox []congest.Envelope) {
+	improved := false
+	for _, env := range inbox {
+		if env.Msg.Kind != wire.KindCandidate {
+			continue
+		}
+		if c := graph.NodeID(env.Msg.Arg(0)); c < p.electBest {
+			p.electBest = c
+			improved = true
+		}
+	}
+	if improved {
+		p.sendCandidates(ctx)
+	}
+}
+
+// memoryWords estimates retained state: neighbor colors (O(deg)), scope tree
+// children, DRA state, and O(1) scalars.
+func (p *phase1) memoryWords() int64 {
+	words := int64(len(p.nbColor)) + 16
+	if p.scopeBFS != nil {
+		words += int64(len(p.scopeBFS.Children))
+	}
+	if p.globalBFS != nil {
+		words += int64(len(p.globalBFS.Children))
+	}
+	if p.barrier != nil {
+		words += p.barrier.MemoryWords()
+	}
+	if p.dra != nil {
+		words += p.dra.MemoryWords()
+	}
+	return words
+}
+
+// succeeded reports whether this node's partition completed its subcycle.
+func (p *phase1) succeeded() bool {
+	return p.dra != nil && p.dra.Status() == dra.Succeeded
+}

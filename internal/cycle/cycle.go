@@ -1,0 +1,156 @@
+// Package cycle provides the path and cycle representations shared by all
+// Hamiltonian-cycle algorithms in this repository, the rotation primitive of
+// Angluin–Valiant (paper Fig. 2), hierarchical cycles (the subcyc/hypcyc
+// indexing of DHC1, paper Section II-A.1), cycle stitching, and verification.
+package cycle
+
+import (
+	"errors"
+	"fmt"
+
+	"dhc/internal/graph"
+)
+
+// Sentinel errors returned by verification. Callers match with errors.Is.
+var (
+	ErrNotCycle    = errors.New("cycle: successor structure is not a single cycle")
+	ErrNotSpanning = errors.New("cycle: cycle does not visit every vertex exactly once")
+	ErrNotSubgraph = errors.New("cycle: cycle uses a non-edge of the graph")
+)
+
+// Cycle is a directed traversal v_0 -> v_1 -> ... -> v_{k-1} -> v_0 over
+// vertices of a graph, stored as the visiting order. A Hamiltonian cycle has
+// k = n.
+type Cycle struct {
+	order []graph.NodeID
+}
+
+// FromOrder builds a Cycle visiting the given vertices in order. The slice is
+// copied.
+func FromOrder(order []graph.NodeID) *Cycle {
+	c := &Cycle{order: make([]graph.NodeID, len(order))}
+	copy(c.order, order)
+	return c
+}
+
+// FromSuccessors builds a Cycle from a successor map, starting at start and
+// following successors until returning to start. It returns ErrNotCycle if
+// the walk revisits a vertex before closing or leaves the map.
+func FromSuccessors(succ map[graph.NodeID]graph.NodeID, start graph.NodeID) (*Cycle, error) {
+	if len(succ) == 0 {
+		return nil, fmt.Errorf("%w: empty successor map", ErrNotCycle)
+	}
+	order := make([]graph.NodeID, 0, len(succ))
+	seen := make(map[graph.NodeID]bool, len(succ))
+	v := start
+	for {
+		if seen[v] {
+			return nil, fmt.Errorf("%w: revisited %d before closing", ErrNotCycle, v)
+		}
+		seen[v] = true
+		order = append(order, v)
+		next, ok := succ[v]
+		if !ok {
+			return nil, fmt.Errorf("%w: no successor for %d", ErrNotCycle, v)
+		}
+		if next == start {
+			break
+		}
+		v = next
+	}
+	if len(order) != len(succ) {
+		return nil, fmt.Errorf("%w: walk closed after %d of %d vertices",
+			ErrNotCycle, len(order), len(succ))
+	}
+	return FromOrder(order), nil
+}
+
+// Len returns the number of vertices on the cycle.
+func (c *Cycle) Len() int { return len(c.order) }
+
+// Order returns the visit order. The returned slice is a copy.
+func (c *Cycle) Order() []graph.NodeID {
+	out := make([]graph.NodeID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// At returns the i-th vertex in visiting order (0-based, modulo length).
+func (c *Cycle) At(i int) graph.NodeID {
+	n := len(c.order)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return c.order[i]
+}
+
+// Successors returns the successor map of the cycle.
+func (c *Cycle) Successors() map[graph.NodeID]graph.NodeID {
+	succ := make(map[graph.NodeID]graph.NodeID, len(c.order))
+	for i, v := range c.order {
+		succ[v] = c.order[(i+1)%len(c.order)]
+	}
+	return succ
+}
+
+// EdgeSet returns the set of undirected edges used by the cycle, in canonical
+// form, e.g. for DOT highlighting.
+func (c *Cycle) EdgeSet() map[graph.Edge]bool {
+	set := make(map[graph.Edge]bool, len(c.order))
+	for i, v := range c.order {
+		w := c.order[(i+1)%len(c.order)]
+		set[graph.Edge{U: v, V: w}.Canonical()] = true
+	}
+	return set
+}
+
+// Verify checks that c is a Hamiltonian cycle of g: it must visit each of the
+// n vertices exactly once and every consecutive pair (including the closing
+// pair) must be an edge of g. A nil error means c is a valid HC.
+func (c *Cycle) Verify(g *graph.Graph) error {
+	n := g.N()
+	if len(c.order) != n {
+		return fmt.Errorf("%w: cycle length %d, graph has %d vertices",
+			ErrNotSpanning, len(c.order), n)
+	}
+	if n < 3 {
+		return fmt.Errorf("%w: Hamiltonian cycle needs n >= 3", ErrNotSpanning)
+	}
+	seen := make([]bool, n)
+	for _, v := range c.order {
+		if int(v) < 0 || int(v) >= n {
+			return fmt.Errorf("%w: vertex %d out of range", ErrNotSpanning, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("%w: vertex %d visited twice", ErrNotSpanning, v)
+		}
+		seen[v] = true
+	}
+	for i, v := range c.order {
+		w := c.order[(i+1)%n]
+		if !g.HasEdge(v, w) {
+			return fmt.Errorf("%w: (%d,%d) missing", ErrNotSubgraph, v, w)
+		}
+	}
+	return nil
+}
+
+// Relabel maps every vertex through the given table (new id = table[old id]),
+// used to lift a cycle found in an induced subgraph back to original ids.
+func (c *Cycle) Relabel(table []graph.NodeID) *Cycle {
+	out := make([]graph.NodeID, len(c.order))
+	for i, v := range c.order {
+		out[i] = table[v]
+	}
+	return &Cycle{order: out}
+}
+
+// String renders a short preview like "cycle[0 5 2 ... 9] len=12".
+func (c *Cycle) String() string {
+	if len(c.order) <= 8 {
+		return fmt.Sprintf("cycle%v len=%d", c.order, len(c.order))
+	}
+	return fmt.Sprintf("cycle[%d %d %d ... %d] len=%d",
+		c.order[0], c.order[1], c.order[2], c.order[len(c.order)-1], len(c.order))
+}

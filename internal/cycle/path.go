@@ -1,0 +1,106 @@
+package cycle
+
+import (
+	"fmt"
+
+	"dhc/internal/graph"
+)
+
+// Path is a mutable simple path v_1, ..., v_h used by the rotation
+// algorithms. Positions are 1-based to match the paper's pseudocode
+// (Algorithm 1 keeps cycindex = 0 for unvisited vertices and assigns the
+// initial head cycindex = 1).
+//
+// Internally Path maintains both the ordered vertex slice and the inverse
+// position map, so that Rotate is O(1) bookkeeping plus the renumbering range
+// and membership queries are O(1).
+type Path struct {
+	verts []graph.NodeID       // verts[i] is the vertex at position i+1
+	pos   map[graph.NodeID]int // pos[v] is the 1-based position of v, 0 if absent
+}
+
+// NewPath returns a path containing just the start vertex (the initial head).
+func NewPath(start graph.NodeID) *Path {
+	return &Path{
+		verts: []graph.NodeID{start},
+		pos:   map[graph.NodeID]int{start: 1},
+	}
+}
+
+// Len returns the number of vertices h on the path.
+func (p *Path) Len() int { return len(p.verts) }
+
+// Head returns the current head v_h.
+func (p *Path) Head() graph.NodeID { return p.verts[len(p.verts)-1] }
+
+// Tail returns v_1.
+func (p *Path) Tail() graph.NodeID { return p.verts[0] }
+
+// Position returns the 1-based position of v on the path, or 0 if absent.
+func (p *Path) Position(v graph.NodeID) int { return p.pos[v] }
+
+// Contains reports whether v lies on the path.
+func (p *Path) Contains(v graph.NodeID) bool { return p.pos[v] != 0 }
+
+// At returns the vertex at 1-based position i.
+func (p *Path) At(i int) graph.NodeID { return p.verts[i-1] }
+
+// Extend appends u as the new head. It panics if u is already on the path;
+// callers decide between Extend and Rotate by checking Contains first, which
+// mirrors the algorithm's branch on cycindex = 0.
+func (p *Path) Extend(u graph.NodeID) {
+	if p.pos[u] != 0 {
+		panic(fmt.Sprintf("cycle: Extend(%d) but vertex already at position %d", u, p.pos[u]))
+	}
+	p.verts = append(p.verts, u)
+	p.pos[u] = len(p.verts)
+}
+
+// Rotate performs the rotation of paper Fig. 2 at the vertex with 1-based
+// position j: the path v_1..v_j v_{j+1}..v_h becomes
+// v_1..v_j v_h v_{h-1}..v_{j+1}, i.e. the suffix after v_j is reversed, and
+// the old v_{j+1} becomes the new head. Each affected vertex's position is
+// renumbered by i <- h + j + 1 - i, exactly the renumbering rule the
+// distributed algorithm broadcasts. It panics if j is out of [1, h-1].
+func (p *Path) Rotate(j int) {
+	h := len(p.verts)
+	if j < 1 || j >= h {
+		panic(fmt.Sprintf("cycle: Rotate(j=%d) out of range for path length %d", j, h))
+	}
+	// Reverse verts[j..h-1] (0-based indices for positions j+1..h).
+	for lo, hi := j, h-1; lo < hi; lo, hi = lo+1, hi-1 {
+		p.verts[lo], p.verts[hi] = p.verts[hi], p.verts[lo]
+	}
+	for i := j; i < h; i++ {
+		p.pos[p.verts[i]] = i + 1
+	}
+}
+
+// Order returns the vertices in path order. The returned slice is a copy.
+func (p *Path) Order() []graph.NodeID {
+	out := make([]graph.NodeID, len(p.verts))
+	copy(out, p.verts)
+	return out
+}
+
+// CloseCycle converts the path into a Cycle. It does not check the closing
+// edge; use Verify on the result.
+func (p *Path) CloseCycle() *Cycle {
+	return FromOrder(p.verts)
+}
+
+// VerifyPath checks that consecutive path vertices are adjacent in g and
+// no vertex repeats.
+func (p *Path) VerifyPath(g *graph.Graph) error {
+	seen := make(map[graph.NodeID]bool, len(p.verts))
+	for i, v := range p.verts {
+		if seen[v] {
+			return fmt.Errorf("%w: path revisits %d", ErrNotCycle, v)
+		}
+		seen[v] = true
+		if i > 0 && !g.HasEdge(p.verts[i-1], v) {
+			return fmt.Errorf("%w: path uses non-edge (%d,%d)", ErrNotSubgraph, p.verts[i-1], v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package cycle
+
+import (
+	"fmt"
+
+	"dhc/internal/graph"
+)
+
+// OrientedEdge is a directed cycle edge (V -> U) where U is V's successor on
+// its cycle. The paper's hypernode [u_i, v_i] (Algorithm 2, Phase 2) is an
+// OrientedEdge with incoming port U and outgoing port V.
+type OrientedEdge struct {
+	V, U graph.NodeID
+}
+
+// SpliceHypernodes combines the per-partition subcycles of DHC1 into a single
+// Hamiltonian cycle, given the hypernode ordering found in Phase 2.
+//
+// subcycles[i] is the cycle of partition i. hyper[k] is the hypernode of the
+// partition visited k-th by the Phase-2 cycle: an oriented edge (V -> U) of
+// that partition's subcycle. partitionOf maps a hypernode to its subcycle
+// index. The resulting cycle enters partition k at hyper[k].U, walks the
+// subcycle forward all the way around to hyper[k].V (covering every vertex of
+// the partition, omitting the internal edge V->U), then jumps to
+// hyper[k+1].U.
+//
+// It validates that each hypernode is a successor pair on its subcycle.
+func SpliceHypernodes(subcycles []*Cycle, hyper []OrientedEdge, partitionOf func(OrientedEdge) int) (*Cycle, error) {
+	if len(hyper) != len(subcycles) {
+		return nil, fmt.Errorf("cycle: %d hypernodes for %d subcycles", len(hyper), len(subcycles))
+	}
+	total := 0
+	for _, sc := range subcycles {
+		total += sc.Len()
+	}
+	out := make([]graph.NodeID, 0, total)
+	for _, h := range hyper {
+		idx := partitionOf(h)
+		if idx < 0 || idx >= len(subcycles) {
+			return nil, fmt.Errorf("cycle: hypernode %v maps to invalid partition %d", h, idx)
+		}
+		sc := subcycles[idx]
+		segment, err := arcFrom(sc, h.U, h.V)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", idx, err)
+		}
+		out = append(out, segment...)
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("%w: spliced %d of %d vertices", ErrNotSpanning, len(out), total)
+	}
+	return FromOrder(out), nil
+}
+
+// arcFrom returns the vertices of c from u forward (in cycle orientation)
+// around to v inclusive. If v is u's predecessor the arc covers the whole
+// cycle. It errors if u or v is absent or v->u is not a cycle edge.
+func arcFrom(c *Cycle, u, v graph.NodeID) ([]graph.NodeID, error) {
+	n := c.Len()
+	start := -1
+	for i := 0; i < n; i++ {
+		if c.At(i) == u {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("%w: vertex %d not on subcycle", ErrNotSpanning, u)
+	}
+	if c.At(start-1) != v {
+		return nil, fmt.Errorf("%w: (%d -> %d) is not a subcycle edge", ErrNotCycle, v, u)
+	}
+	arc := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		arc = append(arc, c.At(start+i))
+	}
+	return arc, nil
+}
+
+// Bridge describes how two disjoint cycles merge in DHC2 Phase 2 (paper
+// Fig. 3). E1 = (v_i -> u_i) is a cycle edge of the first cycle,
+// E2 = (v_j -> u_j) of the second. If Crossed is false, the graph edges
+// (v_i, v_j) and (u_i, u_j) realize the bridge; if Crossed is true, the graph
+// edges (v_i, u_j) and (u_i, v_j) do.
+type Bridge struct {
+	E1, E2  OrientedEdge
+	Crossed bool
+}
+
+// MergeTwo merges cycles c1 and c2 over the given bridge into one cycle
+// covering the union of their vertices: the cycle edges E1 and E2 are
+// removed and replaced by the two bridge edges.
+func MergeTwo(c1, c2 *Cycle, b Bridge) (*Cycle, error) {
+	// Walk c1 from u_i forward around to v_i.
+	seg1, err := arcFrom(c1, b.E1.U, b.E1.V)
+	if err != nil {
+		return nil, fmt.Errorf("cycle: bad bridge edge on first cycle: %w", err)
+	}
+	var seg2 []graph.NodeID
+	if b.Crossed {
+		// v_i -> u_j: walk c2 forward from u_j to v_j, then v_j -> u_i.
+		seg2, err = arcFrom(c2, b.E2.U, b.E2.V)
+		if err != nil {
+			return nil, fmt.Errorf("cycle: bad bridge edge on second cycle: %w", err)
+		}
+	} else {
+		// v_i -> v_j: walk c2 *backward* from v_j to u_j, then u_j -> u_i.
+		seg2, err = arcFrom(c2, b.E2.U, b.E2.V)
+		if err != nil {
+			return nil, fmt.Errorf("cycle: bad bridge edge on second cycle: %w", err)
+		}
+		reverse(seg2)
+	}
+	return FromOrder(append(seg1, seg2...)), nil
+}
+
+// BridgeEdges returns the two graph edges a bridge requires.
+func (b Bridge) BridgeEdges() [2]graph.Edge {
+	if b.Crossed {
+		return [2]graph.Edge{
+			{U: b.E1.V, V: b.E2.U},
+			{U: b.E1.U, V: b.E2.V},
+		}
+	}
+	return [2]graph.Edge{
+		{U: b.E1.V, V: b.E2.V},
+		{U: b.E1.U, V: b.E2.U},
+	}
+}
+
+// ValidBridge reports whether the bridge's two required edges exist in g and
+// whether E1, E2 are cycle edges of c1, c2 respectively.
+func ValidBridge(g *graph.Graph, c1, c2 *Cycle, b Bridge) bool {
+	if !isCycleEdge(c1, b.E1) || !isCycleEdge(c2, b.E2) {
+		return false
+	}
+	for _, e := range b.BridgeEdges() {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+	}
+	return true
+}
+
+func isCycleEdge(c *Cycle, e OrientedEdge) bool {
+	for i := 0; i < c.Len(); i++ {
+		if c.At(i) == e.V && c.At(i+1) == e.U {
+			return true
+		}
+	}
+	return false
+}
+
+func reverse(s []graph.NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,159 @@
+package cycle
+
+import (
+	"testing"
+
+	"dhc/internal/graph"
+)
+
+// twoTriangleGraph builds two disjoint triangles {0,1,2} and {3,4,5} plus
+// the given extra edges.
+func twoTriangleGraph(extra ...graph.Edge) *graph.Graph {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	for _, e := range extra {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+func TestMergeTwoParallelBridge(t *testing.T) {
+	// Bridge over cycle edges (0->1) and (3->4) using graph edges
+	// (v_i,v_j)=(0,3) and (u_i,u_j)=(1,4): the non-crossed case.
+	g := twoTriangleGraph(graph.Edge{U: 0, V: 3}, graph.Edge{U: 1, V: 4})
+	c1 := FromOrder([]graph.NodeID{0, 1, 2})
+	c2 := FromOrder([]graph.NodeID{3, 4, 5})
+	b := Bridge{E1: OrientedEdge{V: 0, U: 1}, E2: OrientedEdge{V: 3, U: 4}}
+	if !ValidBridge(g, c1, c2, b) {
+		t.Fatal("bridge should be valid")
+	}
+	merged, err := MergeTwo(c1, c2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Verify(g); err != nil {
+		t.Fatalf("merged cycle invalid: %v", err)
+	}
+}
+
+func TestMergeTwoCrossedBridge(t *testing.T) {
+	// Crossed case: graph edges (v_i,u_j)=(0,4) and (u_i,v_j)=(1,3).
+	g := twoTriangleGraph(graph.Edge{U: 0, V: 4}, graph.Edge{U: 1, V: 3})
+	c1 := FromOrder([]graph.NodeID{0, 1, 2})
+	c2 := FromOrder([]graph.NodeID{3, 4, 5})
+	b := Bridge{E1: OrientedEdge{V: 0, U: 1}, E2: OrientedEdge{V: 3, U: 4}, Crossed: true}
+	if !ValidBridge(g, c1, c2, b) {
+		t.Fatal("crossed bridge should be valid")
+	}
+	merged, err := MergeTwo(c1, c2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Verify(g); err != nil {
+		t.Fatalf("merged cycle invalid: %v", err)
+	}
+}
+
+func TestValidBridgeRejectsMissingEdges(t *testing.T) {
+	g := twoTriangleGraph() // no cross edges at all
+	c1 := FromOrder([]graph.NodeID{0, 1, 2})
+	c2 := FromOrder([]graph.NodeID{3, 4, 5})
+	b := Bridge{E1: OrientedEdge{V: 0, U: 1}, E2: OrientedEdge{V: 3, U: 4}}
+	if ValidBridge(g, c1, c2, b) {
+		t.Fatal("bridge with missing graph edges accepted")
+	}
+	// Not a cycle edge: (0 -> 2) is the wrong orientation on c1 (0's succ is 1).
+	g2 := twoTriangleGraph(graph.Edge{U: 0, V: 3}, graph.Edge{U: 2, V: 4})
+	b2 := Bridge{E1: OrientedEdge{V: 0, U: 2}, E2: OrientedEdge{V: 3, U: 4}}
+	if ValidBridge(g2, c1, c2, b2) {
+		t.Fatal("non-cycle-edge bridge accepted")
+	}
+}
+
+func TestMergeTwoBadBridgeErrors(t *testing.T) {
+	c1 := FromOrder([]graph.NodeID{0, 1, 2})
+	c2 := FromOrder([]graph.NodeID{3, 4, 5})
+	// (1 -> 0) is not a cycle edge of c1 (wrong direction).
+	b := Bridge{E1: OrientedEdge{V: 1, U: 0}, E2: OrientedEdge{V: 3, U: 4}}
+	if _, err := MergeTwo(c1, c2, b); err == nil {
+		t.Fatal("expected error for reversed cycle edge")
+	}
+	// Vertex not on cycle.
+	b = Bridge{E1: OrientedEdge{V: 9, U: 1}, E2: OrientedEdge{V: 3, U: 4}}
+	if _, err := MergeTwo(c1, c2, b); err == nil {
+		t.Fatal("expected error for absent vertex")
+	}
+}
+
+func TestSpliceHypernodes(t *testing.T) {
+	// Three triangles 0-2, 3-5, 6-8 arranged so hypernode ports connect:
+	// hypernode_i = (v_i -> u_i) with u as incoming port, v as outgoing.
+	b := graph.NewBuilder(9)
+	for base := 0; base < 9; base += 3 {
+		b.AddEdge(graph.NodeID(base), graph.NodeID(base+1))
+		b.AddEdge(graph.NodeID(base+1), graph.NodeID(base+2))
+		b.AddEdge(graph.NodeID(base+2), graph.NodeID(base))
+	}
+	// Outgoing port of partition k is vertex 3k (v), incoming is 3k+1 (u).
+	// Hyperedges: v_0 -> u_1 (0,4), v_1 -> u_2 (3,7), v_2 -> u_0 (6,1).
+	b.AddEdge(0, 4)
+	b.AddEdge(3, 7)
+	b.AddEdge(6, 1)
+	g := b.Build()
+
+	subcycles := []*Cycle{
+		FromOrder([]graph.NodeID{0, 1, 2}),
+		FromOrder([]graph.NodeID{3, 4, 5}),
+		FromOrder([]graph.NodeID{6, 7, 8}),
+	}
+	hyper := []OrientedEdge{
+		{V: 0, U: 1},
+		{V: 3, U: 4},
+		{V: 6, U: 7},
+	}
+	partitionOf := func(e OrientedEdge) int { return int(e.V) / 3 }
+	hc, err := SpliceHypernodes(subcycles, hyper, partitionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatalf("spliced cycle invalid: %v", err)
+	}
+}
+
+func TestSpliceHypernodesErrors(t *testing.T) {
+	subcycles := []*Cycle{FromOrder([]graph.NodeID{0, 1, 2})}
+	if _, err := SpliceHypernodes(subcycles, nil, nil); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	// Hypernode whose (V -> U) is not a cycle edge.
+	hyper := []OrientedEdge{{V: 1, U: 0}}
+	partitionOf := func(OrientedEdge) int { return 0 }
+	if _, err := SpliceHypernodes(subcycles, hyper, partitionOf); err == nil {
+		t.Fatal("reversed hypernode accepted")
+	}
+	// partitionOf out of range.
+	hyper = []OrientedEdge{{V: 0, U: 1}}
+	bad := func(OrientedEdge) int { return 5 }
+	if _, err := SpliceHypernodes(subcycles, hyper, bad); err == nil {
+		t.Fatal("invalid partition index accepted")
+	}
+}
+
+func TestBridgeEdges(t *testing.T) {
+	b := Bridge{E1: OrientedEdge{V: 0, U: 1}, E2: OrientedEdge{V: 3, U: 4}}
+	e := b.BridgeEdges()
+	if e[0] != (graph.Edge{U: 0, V: 3}) || e[1] != (graph.Edge{U: 1, V: 4}) {
+		t.Fatalf("parallel bridge edges %v", e)
+	}
+	b.Crossed = true
+	e = b.BridgeEdges()
+	if e[0] != (graph.Edge{U: 0, V: 4}) || e[1] != (graph.Edge{U: 1, V: 3}) {
+		t.Fatalf("crossed bridge edges %v", e)
+	}
+}

@@ -1,0 +1,183 @@
+package dra
+
+import (
+	"math"
+	"testing"
+
+	"dhc/internal/congest"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+	"dhc/internal/rotation"
+)
+
+func TestRunOnCompleteGraph(t *testing.T) {
+	g := graph.Complete(24)
+	res, err := Run(g, 1, NodeOptions{}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycle.Len() != g.N() {
+		t.Fatalf("cycle length %d", res.Cycle.Len())
+	}
+	if res.Counters.Rounds == 0 || res.Steps < int64(g.N()-1) {
+		t.Fatalf("implausible metrics: rounds=%d steps=%d", res.Counters.Rounds, res.Steps)
+	}
+}
+
+func TestRunOnThresholdGNP(t *testing.T) {
+	n := 150
+	p := 8 * math.Log(float64(n)) / float64(n)
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.GNP(n, p, rng.New(100+seed))
+		res, err := Run(g, seed, NodeOptions{}, congest.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Run verifies internally; double-check here for the test's sake.
+		if err := res.Cycle.Verify(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestStepBudgetMatchesTheorem2(t *testing.T) {
+	n := 120
+	p := 10 * math.Log(float64(n)) / float64(n)
+	g := graph.GNP(n, p, rng.New(7))
+	res, err := Run(g, 3, NodeOptions{}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := rotation.DefaultMaxSteps(n)
+	if res.Steps > budget {
+		t.Fatalf("steps %d exceed Theorem 2 budget %d", res.Steps, budget)
+	}
+}
+
+func TestRunFailsOnSparseGraph(t *testing.T) {
+	// A path graph has no HC; the head strands and the failure broadcast
+	// must terminate every node.
+	g := graph.Path(12)
+	if _, err := Run(g, 1, NodeOptions{}, congest.Options{}); err == nil {
+		t.Fatal("path graph run succeeded")
+	}
+}
+
+func TestRunFailsOnStepBudget(t *testing.T) {
+	g := graph.Complete(20)
+	if _, err := Run(g, 1, NodeOptions{MaxSteps: 2}, congest.Options{}); err == nil {
+		t.Fatal("tiny step budget run succeeded")
+	}
+}
+
+func TestRunRejectsTinyGraph(t *testing.T) {
+	if _, err := Run(graph.Complete(2), 1, NodeOptions{}, congest.Options{}); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestDeterministicAcrossExecutors(t *testing.T) {
+	n := 100
+	p := 10 * math.Log(float64(n)) / float64(n)
+	g := graph.GNP(n, p, rng.New(9))
+	seq, err := Run(g, 5, NodeOptions{}, congest.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(g, 5, NodeOptions{}, congest.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, po := seq.Cycle.Order(), par.Cycle.Order()
+	for i := range so {
+		if so[i] != po[i] {
+			t.Fatal("cycles differ between sequential and parallel executors")
+		}
+	}
+	if seq.Counters.Rounds != par.Counters.Rounds ||
+		seq.Counters.Messages != par.Counters.Messages {
+		t.Fatalf("metrics differ: seq=%v par=%v", seq.Counters, par.Counters)
+	}
+}
+
+func TestCongestCompliance(t *testing.T) {
+	// The default network options enforce O(log n) bits per edge per round;
+	// a full run passing means every DRA message respected the budget.
+	n := 80
+	p := 12 * math.Log(float64(n)) / float64(n)
+	g := graph.GNP(n, p, rng.New(13))
+	res, err := Run(g, 2, NodeOptions{}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := wireCodecBits(n)
+	if res.Counters.MaxMessageBits > 8*codec {
+		t.Fatalf("message of %d bits exceeds 8*log(n)=%d", res.Counters.MaxMessageBits, 8*codec)
+	}
+}
+
+func wireCodecBits(n int) int64 {
+	bits := int64(1)
+	for v := n - 1; v > 1; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+func TestMemoryIsSublinear(t *testing.T) {
+	// Fully-distributed claim: each node's memory is O(np) = O(polylog)
+	// words at threshold density, far below n.
+	n := 200
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.GNP(n, p, rng.New(17))
+	res, err := Run(g, 4, NodeOptions{}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMem := res.Counters.MemoryDistribution().Max
+	if maxMem == 0 {
+		t.Fatal("memory not metered")
+	}
+	if maxMem > int64(n)/2 {
+		t.Fatalf("per-node memory %d words is not o(n) for n=%d", maxMem, n)
+	}
+}
+
+func TestExtractCycleRejectsIncompleteRun(t *testing.T) {
+	g := graph.Complete(5)
+	states := make([]*State, 5)
+	for i := range states {
+		states[i] = &State{status: Running}
+	}
+	if _, _, err := ExtractCycle(g, states); err == nil {
+		t.Fatal("running states accepted")
+	}
+}
+
+// TestPointerConsistency cross-checks pred/succ agreement: succ(pred(v)) == v
+// for every node after a successful run.
+func TestPointerConsistency(t *testing.T) {
+	g := graph.Complete(30)
+	nodes := make([]congest.Node, g.N())
+	progs := make([]*Node, g.N())
+	for i := range nodes {
+		progs[i] = &Node{}
+		nodes[i] = progs[i]
+	}
+	net, err := congest.NewNetwork(g, nodes, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(11); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range progs {
+		succ := p.state.Succ()
+		if succ < 0 {
+			t.Fatalf("node %d has no successor", v)
+		}
+		if progs[succ].state.Pred() != graph.NodeID(v) {
+			t.Fatalf("pred(succ(%d)) = %d, want %d", v, progs[succ].state.Pred(), v)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package dra
+
+import (
+	"errors"
+	"fmt"
+
+	"dhc/internal/congest"
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/rotation"
+	"dhc/internal/wire"
+)
+
+// ErrFailed is returned by Run when the rotation process fails (out of
+// unused edges or step budget exceeded) — the low-probability events E1/E2
+// of Theorem 2.
+var ErrFailed = errors.New("dra: rotation process failed")
+
+// Node runs a standalone DRA instance over the whole graph: node 0 is the
+// initial head (the paper initializes "any one node"), the scope is every
+// vertex, and the instance ends with a success or failure broadcast.
+type Node struct {
+	state *State
+	opts  NodeOptions
+}
+
+// NodeOptions configures the standalone instance.
+type NodeOptions struct {
+	// BroadcastRounds bounds the graph diameter for rotation consistency
+	// waits. Zero selects n (always safe for a connected graph).
+	BroadcastRounds int64
+	// MaxSteps overrides the Theorem 2 budget (0 = default).
+	MaxSteps int64
+}
+
+var _ congest.Node = (*Node)(nil)
+
+// Init implements congest.Node.
+func (d *Node) Init(ctx *congest.Context) {
+	b := d.opts.BroadcastRounds
+	if b == 0 {
+		b = int64(ctx.N())
+	}
+	d.state = NewState(ctx, Params{
+		ScopeSize:       ctx.N(),
+		IsInitialHead:   ctx.ID() == 0,
+		InScope:         func(graph.NodeID) bool { return true },
+		BroadcastRounds: b,
+		StartRound:      1,
+		Tag:             1,
+		MaxSteps:        d.opts.MaxSteps,
+	})
+}
+
+// Round implements congest.Node.
+func (d *Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
+	d.state.Tick(ctx, inbox)
+	if d.state.Status() != Running {
+		// Keep forwarding the terminal broadcast for one round; the
+		// scoped broadcaster already forwarded on receipt, so halt now.
+		ctx.Halt()
+	}
+}
+
+// Result is the outcome of a standalone run.
+type Result struct {
+	Cycle    *cycle.Cycle
+	Counters *metrics.Counters
+	Steps    int64
+}
+
+// Run executes DRA on g with the given seed and returns the Hamiltonian
+// cycle assembled from the per-node successor pointers. The cycle is
+// verified against g before returning.
+func Run(g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options) (*Result, error) {
+	if g.N() < 3 {
+		return nil, fmt.Errorf("dra: need n >= 3, got %d", g.N())
+	}
+	if opts.BroadcastRounds == 0 {
+		// 2*ecc(v) >= diameter for any v, so one BFS yields a safe
+		// consistency-wait bound far below the trivial n.
+		opts.BroadcastRounds = int64(2*g.BFS(0).Ecc + 1)
+	}
+	if netOpts.MaxRounds == 0 {
+		maxSteps := opts.MaxSteps
+		if maxSteps == 0 {
+			maxSteps = rotation.DefaultMaxSteps(g.N())
+		}
+		// Every step costs at most BroadcastRounds+2 rounds, plus slack
+		// for the terminal broadcast.
+		netOpts.MaxRounds = maxSteps*(opts.BroadcastRounds+3) + 1024
+	}
+	nodes := make([]congest.Node, g.N())
+	progs := make([]*Node, g.N())
+	for i := range nodes {
+		progs[i] = &Node{opts: opts}
+		nodes[i] = progs[i]
+	}
+	net, err := congest.NewNetwork(g, nodes, netOpts)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := net.Run(seed)
+	if err != nil {
+		return nil, fmt.Errorf("dra: %w", err)
+	}
+	states := make([]*State, g.N())
+	for i, p := range progs {
+		states[i] = p.state
+	}
+	hc, steps, err := ExtractCycle(g, states)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cycle: hc, Counters: counters, Steps: steps}, nil
+}
+
+// ExtractCycle reconstructs and verifies the Hamiltonian cycle from per-node
+// DRA states (each node knows its cycle successor, which is the paper's
+// output condition: every node knows its two incident HC edges).
+func ExtractCycle(g *graph.Graph, states []*State) (*cycle.Cycle, int64, error) {
+	var steps int64
+	succ := make(map[graph.NodeID]graph.NodeID, len(states))
+	for v, st := range states {
+		if st.Status() != Succeeded {
+			return nil, st.Steps(), fmt.Errorf("%w: node %d status %d after %d steps",
+				ErrFailed, v, st.Status(), st.Steps())
+		}
+		if st.Steps() > steps {
+			steps = st.Steps()
+		}
+		succ[graph.NodeID(v)] = st.Succ()
+	}
+	hc, err := cycle.FromSuccessors(succ, 0)
+	if err != nil {
+		return nil, steps, fmt.Errorf("dra: bad successor structure: %w", err)
+	}
+	if err := hc.Verify(g); err != nil {
+		return nil, steps, fmt.Errorf("dra: extracted cycle invalid: %w", err)
+	}
+	return hc, steps, nil
+}
+
+// wireCheck documents that all DRA messages fit the CONGEST budget; the
+// compiler keeps this in sync with wire.Msg arity limits.
+var _ = wire.Msg(wire.KindRotation, 0, 0, 0, 0)

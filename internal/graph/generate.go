@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dhc/internal/rng"
+)
+
+// ErrGeneration is returned when a randomized generator exhausts its retry
+// budget (only possible for the random-regular configuration model).
+var ErrGeneration = errors.New("graph: generation failed")
+
+// GNP samples an Erdős–Rényi G(n, p) random graph: every unordered pair is an
+// edge independently with probability p. Generation runs in expected
+// O(n + m) time by geometric skipping over the implicit pair enumeration
+// (Batagelj–Brandes), not O(n^2).
+func GNP(n int, p float64, src *rng.Source) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Enumerate pairs (v, w) with w < v in row-major order and skip ahead by
+	// geometric gaps.
+	v, w := 1, -1
+	for v < n {
+		w += 1 + src.Geometric(p)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(NodeID(v), NodeID(w))
+		}
+	}
+	return b.Build()
+}
+
+// GNM samples a uniform graph with exactly m distinct edges among n vertices
+// (the G(n, M) model). It panics if m exceeds the number of possible edges.
+func GNM(n, m int, src *rng.Source) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d for n=%d", m, maxM, n))
+	}
+	b := NewBuilder(n)
+	// Rejection sampling is fast while m << maxM; above half the density,
+	// sample the complement instead.
+	if m <= maxM/2 {
+		for b.NumEdges() < m {
+			u := NodeID(src.Intn(n))
+			v := NodeID(src.Intn(n))
+			b.AddEdge(u, v)
+		}
+		return b.Build()
+	}
+	// Dense regime: pick the maxM-m excluded edges, then add all others.
+	excluded := NewBuilder(n)
+	for excluded.NumEdges() < maxM-m {
+		u := NodeID(src.Intn(n))
+		v := NodeID(src.Intn(n))
+		excluded.AddEdge(u, v)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !excluded.HasEdge(NodeID(u), NodeID(v)) {
+				b.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular samples a d-regular graph on n vertices using the
+// Steger–Wormald pairing procedure: repeatedly pair two uniformly random
+// remaining stubs, skipping pairs that would create a loop or multi-edge, and
+// restart the whole construction only if no valid pair remains. For
+// d = o(n^{1/3}) the output is asymptotically uniform and restarts are rare.
+// n*d must be even and d < n.
+func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
+	if d >= n || d < 0 {
+		return nil, fmt.Errorf("%w: degree %d invalid for n=%d", ErrGeneration, d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("%w: n*d must be even (n=%d, d=%d)", ErrGeneration, n, d)
+	}
+	const maxRestarts = 100
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if g, ok := tryStegerWormald(n, d, src); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: pairing exhausted %d restarts (n=%d, d=%d)",
+		ErrGeneration, maxRestarts, n, d)
+}
+
+func tryStegerWormald(n, d int, src *rng.Source) (*Graph, bool) {
+	stubs := make([]NodeID, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(v))
+		}
+	}
+	b := NewBuilder(n)
+	for len(stubs) > 0 {
+		paired := false
+		// A bounded number of re-draws per pair keeps the loop O(nd) in
+		// expectation; if we cannot find a valid pair we scan exhaustively
+		// before declaring the attempt stuck.
+		for try := 0; try < 50; try++ {
+			i := src.Intn(len(stubs))
+			j := src.Intn(len(stubs))
+			if i == j {
+				continue
+			}
+			u, v := stubs[i], stubs[j]
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			b.AddEdge(u, v)
+			removeStubPair(&stubs, i, j)
+			paired = true
+			break
+		}
+		if paired {
+			continue
+		}
+		if i, j, ok := findValidPair(stubs, b); ok {
+			b.AddEdge(stubs[i], stubs[j])
+			removeStubPair(&stubs, i, j)
+			continue
+		}
+		return nil, false // genuinely stuck; restart
+	}
+	return b.Build(), true
+}
+
+// removeStubPair deletes positions i and j (i != j) from the stub slice by
+// swapping with the tail.
+func removeStubPair(stubs *[]NodeID, i, j int) {
+	s := *stubs
+	if i < j {
+		i, j = j, i
+	}
+	// Remove the larger index first so the smaller stays valid.
+	s[i] = s[len(s)-1]
+	s = s[:len(s)-1]
+	s[j] = s[len(s)-1]
+	s = s[:len(s)-1]
+	*stubs = s
+}
+
+func findValidPair(stubs []NodeID, b *Builder) (int, int, bool) {
+	for i := 0; i < len(stubs); i++ {
+		for j := i + 1; j < len(stubs); j++ {
+			if stubs[i] != stubs[j] && !b.HasEdge(stubs[i], stubs[j]) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Ring returns the n-cycle 0-1-...-(n-1)-0.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(NodeID(v), NodeID((v+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the n-vertex path 0-1-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(NodeID(v), NodeID(v+1))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols grid graph (no Hamiltonian cycle when both
+// dimensions are odd; used for negative tests).
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// HCThresholdP returns the paper's edge probability p = c ln(n) / n^delta for
+// the G(n, p) model (Section II-B). delta = 1 is the connectivity threshold
+// regime; delta = 1/2 is the DHC1 regime. The result is clamped to [0, 1].
+func HCThresholdP(n int, c, delta float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	p := c * math.Log(float64(n)) / math.Pow(float64(n), delta)
+	if p > 1 {
+		return 1
+	}
+	return p
+}

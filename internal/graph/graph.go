@@ -1,0 +1,216 @@
+// Package graph provides the static undirected graphs on which the
+// distributed Hamiltonian-cycle algorithms run: construction, random-graph
+// generators (G(n,p), G(n,M), random regular, and deterministic families),
+// and the structural queries the algorithms and their analyses need (BFS,
+// connectivity, diameter, degree statistics, induced subgraphs).
+//
+// Graphs are immutable after Build; all algorithm state lives in the
+// algorithm packages, never in the graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. IDs are dense in [0, N).
+type NodeID int32
+
+// Edge is an undirected edge between two vertices. Canonical form has U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canonical returns the edge with endpoints ordered U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Graph is an immutable undirected simple graph with vertices [0, n).
+type Graph struct {
+	n   int
+	m   int
+	adj [][]NodeID // sorted neighbor lists
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges map[Edge]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[Edge]struct{})}
+}
+
+// AddEdge records the undirected edge (u, v). Self-loops and duplicates are
+// ignored, keeping the graph simple. It returns true if the edge was new.
+func (b *Builder) AddEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return false
+	}
+	e := Edge{U: u, V: v}.Canonical()
+	if _, dup := b.edges[e]; dup {
+		return false
+	}
+	b.edges[e] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether (u, v) has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	_, ok := b.edges[Edge{U: u, V: v}.Canonical()]
+	return ok
+}
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable Graph. The Builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	degs := make([]int, b.n)
+	for e := range b.edges {
+		degs[e.U]++
+		degs[e.V]++
+	}
+	adj := make([][]NodeID, b.n)
+	for i, d := range degs {
+		adj[i] = make([]NodeID, 0, d)
+	}
+	for e := range b.edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, c int) bool { return adj[i][a] < adj[i][c] })
+	}
+	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+}
+
+// FromEdges constructs a Graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// HasEdge reports whether (u, v) is an edge, by binary search.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v || int(u) >= g.n || int(v) >= g.n || u < 0 || v < 0 {
+		return false
+	}
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	return i < len(list) && list[i] == v
+}
+
+// Edges returns all edges in canonical (U < V) order, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, Edge{U: NodeID(u), V: v})
+			}
+		}
+	}
+	return out
+}
+
+// MinDegree returns the minimum degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := len(g.adj[0])
+	for _, a := range g.adj[1:] {
+		if len(a) < min {
+			min = len(a)
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean degree 2m/n, or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.m)
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// along with the mapping from new (dense) ids to original ids. The i-th
+// entry of the returned slice is the original id of new vertex i. Vertices
+// are relabeled in increasing original-id order.
+func (g *Graph) InducedSubgraph(vertices []NodeID) (*Graph, []NodeID) {
+	orig := make([]NodeID, len(vertices))
+	copy(orig, vertices)
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	// Deduplicate.
+	orig = dedupe(orig)
+	toNew := make(map[NodeID]NodeID, len(orig))
+	for i, v := range orig {
+		toNew[v] = NodeID(i)
+	}
+	b := NewBuilder(len(orig))
+	for i, v := range orig {
+		for _, w := range g.adj[v] {
+			if nw, ok := toNew[w]; ok && NodeID(i) < nw {
+				b.AddEdge(NodeID(i), nw)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+func dedupe(s []NodeID) []NodeID {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

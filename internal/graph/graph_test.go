@@ -1,0 +1,331 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dhc/internal/rng"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if !b.AddEdge(0, 1) {
+		t.Fatal("AddEdge(0,1) rejected")
+	}
+	if b.AddEdge(1, 0) {
+		t.Fatal("duplicate (reversed) edge accepted")
+	}
+	if b.AddEdge(2, 2) {
+		t.Fatal("self-loop accepted")
+	}
+	if b.AddEdge(0, 5) {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if b.AddEdge(-1, 0) {
+		t.Fatal("negative endpoint accepted")
+	}
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want 4, 2", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge symmetric lookup failed")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d, %d", g.Degree(1), g.Degree(3))
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	src := rng.New(1)
+	g := GNP(200, 0.1, src)
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(NodeID(v))
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	g := GNP(100, 0.05, src)
+	g2 := FromEdges(g.N(), g.Edges())
+	if g2.M() != g.M() {
+		t.Fatalf("edge count changed: %d -> %d", g.M(), g2.M())
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestCompleteAndRing(t *testing.T) {
+	k := Complete(6)
+	if k.M() != 15 {
+		t.Fatalf("K6 has %d edges, want 15", k.M())
+	}
+	if k.MinDegree() != 5 || k.MaxDegree() != 5 {
+		t.Fatal("K6 not 5-regular")
+	}
+	r := Ring(10)
+	if r.M() != 10 || r.MinDegree() != 2 || r.MaxDegree() != 2 {
+		t.Fatalf("Ring(10): m=%d min=%d max=%d", r.M(), r.MinDegree(), r.MaxDegree())
+	}
+	p := Path(5)
+	if p.M() != 4 || p.MinDegree() != 1 {
+		t.Fatalf("Path(5): m=%d min=%d", p.M(), p.MinDegree())
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	// 3x4 grid: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid m=%d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid should be connected")
+	}
+}
+
+func TestGNPDeterminism(t *testing.T) {
+	g1 := GNP(500, 0.02, rng.New(7))
+	g2 := GNP(500, 0.02, rng.New(7))
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed produced different graphs: m=%d vs %d", g1.M(), g2.M())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestGNPEdgeCount(t *testing.T) {
+	// E[m] = p * n(n-1)/2; check within 5 standard deviations.
+	n, p := 1000, 0.01
+	g := GNP(n, p, rng.New(3))
+	mean := p * float64(n*(n-1)) / 2
+	sd := mean * (1 - p)
+	sd = sqrtf(sd)
+	if diff := absf(float64(g.M()) - mean); diff > 5*sd {
+		t.Fatalf("GNP edge count %d deviates from mean %.0f by %.0f (>5sd=%.0f)",
+			g.M(), mean, diff, 5*sd)
+	}
+}
+
+func TestGNPExtremes(t *testing.T) {
+	if g := GNP(100, 0, rng.New(1)); g.M() != 0 {
+		t.Fatal("GNP(p=0) has edges")
+	}
+	if g := GNP(20, 1, rng.New(1)); g.M() != 190 {
+		t.Fatalf("GNP(p=1) m=%d, want 190", g.M())
+	}
+	if g := GNP(1, 0.5, rng.New(1)); g.N() != 1 || g.M() != 0 {
+		t.Fatal("GNP(n=1) wrong")
+	}
+	if g := GNP(0, 0.5, rng.New(1)); g.N() != 0 {
+		t.Fatal("GNP(n=0) wrong")
+	}
+}
+
+func TestGNMExactCount(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{10, 0}, {10, 5}, {10, 45}, {10, 40}, {50, 300},
+	} {
+		g := GNM(tc.n, tc.m, rng.New(uint64(tc.n*1000+tc.m)))
+		if g.M() != tc.m {
+			t.Errorf("GNM(%d,%d) produced %d edges", tc.n, tc.m, g.M())
+		}
+	}
+}
+
+func TestGNMPanicsWhenOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM with too many edges did not panic")
+		}
+	}()
+	GNM(4, 7, rng.New(1))
+}
+
+func TestRandomRegular(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 3}, {50, 4}, {100, 6}} {
+		g, err := RandomRegular(tc.n, tc.d, rng.New(uint64(tc.n)))
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(NodeID(v)) != tc.d {
+				t.Fatalf("vertex %d degree %d, want %d", v, g.Degree(NodeID(v)), tc.d)
+			}
+		}
+	}
+}
+
+func TestRandomRegularRejectsBadParams(t *testing.T) {
+	if _, err := RandomRegular(5, 3, rng.New(1)); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 4, rng.New(1)); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	res := g.BFS(0)
+	for v := 0; v < 5; v++ {
+		if res.Dist[v] != v {
+			t.Fatalf("path dist[%d]=%d", v, res.Dist[v])
+		}
+	}
+	if res.Ecc != 4 {
+		t.Fatalf("ecc=%d", res.Ecc)
+	}
+	if res.Parent[0] != -1 || res.Parent[3] != 2 {
+		t.Fatalf("parents wrong: %v", res.Parent)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	res := g.BFS(0)
+	if res.Dist[2] != -1 || res.Dist[3] != -1 {
+		t.Fatal("unreachable vertices should have dist -1")
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if comps := g.Components(); len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+}
+
+func TestDiameterSmall(t *testing.T) {
+	if d := Ring(10).Diameter(); d != 5 {
+		t.Fatalf("Ring(10) diameter %d, want 5", d)
+	}
+	if d := Path(7).Diameter(); d != 6 {
+		t.Fatalf("Path(7) diameter %d, want 6", d)
+	}
+	if d := Complete(8).Diameter(); d != 1 {
+		t.Fatalf("K8 diameter %d, want 1", d)
+	}
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	if d := b.Build().Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter %d, want -1", d)
+	}
+}
+
+func TestDiameterSampledLowerBoundsExact(t *testing.T) {
+	src := rng.New(5)
+	g := GNP(300, 0.03, src)
+	if !g.Connected() {
+		t.Skip("sample graph disconnected")
+	}
+	exact := g.Diameter()
+	sampled := g.DiameterSampled(5, rng.New(6))
+	if sampled > exact {
+		t.Fatalf("sampled diameter %d exceeds exact %d", sampled, exact)
+	}
+	if sampled < exact-1 {
+		t.Fatalf("double sweep too weak: sampled %d vs exact %d", sampled, exact)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(6)
+	sub, orig := g.InducedSubgraph([]NodeID{5, 1, 3, 3})
+	if sub.N() != 3 {
+		t.Fatalf("induced n=%d, want 3 (dedup)", sub.N())
+	}
+	if sub.M() != 3 {
+		t.Fatalf("induced m=%d, want 3", sub.M())
+	}
+	want := []NodeID{1, 3, 5}
+	for i, v := range orig {
+		if v != want[i] {
+			t.Fatalf("orig mapping %v, want %v", orig, want)
+		}
+	}
+}
+
+func TestInducedSubgraphPreservesEdges(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := GNP(60, 0.2, rng.New(seed))
+		vs := []NodeID{}
+		pick := rng.New(seed + 1)
+		for v := 0; v < g.N(); v++ {
+			if pick.Bernoulli(0.5) {
+				vs = append(vs, NodeID(v))
+			}
+		}
+		sub, orig := g.InducedSubgraph(vs)
+		for u := 0; u < sub.N(); u++ {
+			for v := u + 1; v < sub.N(); v++ {
+				if sub.HasEdge(NodeID(u), NodeID(v)) != g.HasEdge(orig[u], orig[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHCThresholdP(t *testing.T) {
+	if p := HCThresholdP(1, 86, 0.5); p != 0 {
+		t.Fatalf("n=1 threshold %v, want 0", p)
+	}
+	// Small n with large c must clamp to 1.
+	if p := HCThresholdP(4, 86, 1); p != 1 {
+		t.Fatalf("clamp failed: %v", p)
+	}
+	// The paper's analysis constant c=86 needs astronomically large n before
+	// p < 1; practical experiments use small c. Check an un-clamped case.
+	p := HCThresholdP(100_000, 2, 0.5)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("threshold out of range: %v", p)
+	}
+	// Monotone in n (for fixed c, delta) once un-clamped.
+	if HCThresholdP(1_000_000, 2, 0.5) >= p {
+		t.Fatal("threshold should decrease with n")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton's method is plenty for test tolerances.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

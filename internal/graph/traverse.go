@@ -1,0 +1,125 @@
+package graph
+
+import "dhc/internal/rng"
+
+// BFSResult holds single-source breadth-first-search output.
+type BFSResult struct {
+	Source NodeID
+	// Dist[v] is the hop distance from Source, or -1 if unreachable.
+	Dist []int
+	// Parent[v] is the BFS-tree parent of v, or -1 for the source and
+	// unreachable vertices.
+	Parent []NodeID
+	// Order lists reached vertices in visit order (source first).
+	Order []NodeID
+	// Ecc is the eccentricity of the source within its component.
+	Ecc int
+}
+
+// BFS runs breadth-first search from src.
+func (g *Graph) BFS(src NodeID) *BFSResult {
+	res := &BFSResult{
+		Source: src,
+		Dist:   make([]int, g.n),
+		Parent: make([]NodeID, g.n),
+		Order:  make([]NodeID, 0, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+	}
+	res.Dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, v)
+		if res.Dist[v] > res.Ecc {
+			res.Ecc = res.Dist[v]
+		}
+		for _, w := range g.adj[v] {
+			if res.Dist[w] < 0 {
+				res.Dist[w] = res.Dist[v] + 1
+				res.Parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return res
+}
+
+// Connected reports whether the graph is connected (vacuously true for n<=1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.BFS(0).Order) == g.n
+}
+
+// Components returns the connected components as vertex lists.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		res := g.BFS(NodeID(v))
+		comp := make([]NodeID, len(res.Order))
+		copy(comp, res.Order)
+		for _, w := range comp {
+			seen[w] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Diameter computes the exact diameter by running BFS from every vertex.
+// It returns -1 for a disconnected graph. Cost is O(n(n+m)); use
+// DiameterSampled for large graphs.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		res := g.BFS(NodeID(v))
+		if len(res.Order) != g.n {
+			return -1
+		}
+		if res.Ecc > diam {
+			diam = res.Ecc
+		}
+	}
+	return diam
+}
+
+// DiameterSampled lower-bounds the diameter by running BFS from `samples`
+// random vertices plus, for each, the farthest vertex found (a standard
+// double-sweep heuristic that is exact on trees and near-exact on random
+// graphs). Returns -1 if the graph is disconnected.
+func (g *Graph) DiameterSampled(samples int, src *rng.Source) int {
+	if g.n == 0 {
+		return 0
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	best := 0
+	for i := 0; i < samples; i++ {
+		start := NodeID(src.Intn(g.n))
+		res := g.BFS(start)
+		if len(res.Order) != g.n {
+			return -1
+		}
+		// Double sweep: BFS again from the farthest vertex.
+		far := res.Order[len(res.Order)-1]
+		res2 := g.BFS(far)
+		if res2.Ecc > best {
+			best = res2.Ecc
+		}
+	}
+	return best
+}

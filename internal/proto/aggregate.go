@@ -1,0 +1,164 @@
+package proto
+
+import (
+	"dhc/internal/congest"
+	"dhc/internal/wire"
+)
+
+// Counter performs a convergecast sum over a settled BFS tree followed by a
+// downward announcement of the total: leaves report their value to their
+// parent; internal nodes forward the subtree sum once every child reported;
+// the root adds its own value and floods the total down the tree. The DHC
+// algorithms use it to count partition sizes (the |V| input of Algorithm 1's
+// success test), and Upcast uses the same shape for congestion-free
+// aggregation.
+//
+// Values must fit in int32 (they are vertex counts, bounded by n, so they
+// respect the CONGEST word size).
+type Counter struct {
+	tree    *BFSState
+	tag     int32
+	value   int64
+	reports int
+	sum     int64
+	sentUp  bool
+	// Total is the tree-wide sum, or -1 until the announcement arrives.
+	Total int64
+}
+
+// NewCounter creates a counter over a final BFS tree. ownValue is this
+// node's contribution; tag separates concurrent/sequential counting sessions.
+func NewCounter(tree *BFSState, ownValue int64, tag int32) *Counter {
+	return &Counter{tree: tree, tag: tag, value: ownValue, Total: -1}
+}
+
+// Tick processes one round. Call every round (with that round's inbox) from
+// the first round after the tree is final until Total >= 0 at every node;
+// that takes at most 2*depth+1 rounds.
+func (c *Counter) Tick(ctx *congest.Context, inbox []congest.Envelope) {
+	for _, env := range inbox {
+		switch env.Msg.Kind {
+		case wire.KindCount:
+			if env.Msg.Arg(1) == c.tag {
+				c.sum += int64(env.Msg.Arg(0))
+				c.reports++
+			}
+		case wire.KindSizeAnnounce:
+			if env.Msg.Arg(1) == c.tag && c.Total < 0 {
+				c.Total = int64(env.Msg.Arg(0))
+				c.announceDown(ctx)
+			}
+		}
+	}
+	if !c.sentUp && c.reports == len(c.tree.Children) {
+		subtree := c.sum + c.value
+		c.sentUp = true
+		if c.tree.IsRoot(ctx.ID()) {
+			c.Total = subtree
+			c.announceDown(ctx)
+		} else {
+			ctx.Send(c.tree.Parent, wire.Msg(wire.KindCount, int32(subtree), c.tag))
+		}
+	}
+}
+
+func (c *Counter) announceDown(ctx *congest.Context) {
+	for _, child := range c.tree.Children {
+		ctx.Send(child, wire.Msg(wire.KindSizeAnnounce, int32(c.Total), c.tag))
+	}
+}
+
+// Done reports whether this node knows the total.
+func (c *Counter) Done() bool { return c.Total >= 0 }
+
+// Barrier synchronizes global phase transitions over a network-wide BFS
+// tree: every node Arrives at numbered barriers in order; a node reports
+// "subtree at barrier s" to its parent once it has arrived and all children
+// reported; the root then releases the barrier down the tree. One barrier
+// costs O(tree depth) rounds — within the paper's round budgets, which are
+// all Ω(diameter).
+type Barrier struct {
+	tree         *BFSState
+	childReports map[int32]int
+	arrived      map[int32]bool
+	sentUp       map[int32]bool
+	released     map[int32]bool
+	startRound   map[int32]int64
+	// ReleaseDelay is added by the root to the release round to produce a
+	// common StartRound at which all nodes may begin the next phase; it
+	// must be at least the tree depth so the Go flood arrives in time.
+	ReleaseDelay int64
+}
+
+// NewBarrier creates barrier state over a final BFS tree. releaseDelay must
+// upper-bound the tree depth.
+func NewBarrier(tree *BFSState, releaseDelay int64) *Barrier {
+	return &Barrier{
+		tree:         tree,
+		childReports: make(map[int32]int),
+		arrived:      make(map[int32]bool),
+		sentUp:       make(map[int32]bool),
+		released:     make(map[int32]bool),
+		startRound:   make(map[int32]int64),
+		ReleaseDelay: releaseDelay,
+	}
+}
+
+// Arrive marks this node's arrival at barrier seq (idempotent).
+func (b *Barrier) Arrive(ctx *congest.Context, seq int32) {
+	if b.arrived[seq] {
+		return
+	}
+	b.arrived[seq] = true
+	b.maybeSendUp(ctx, seq)
+}
+
+// Absorb processes barrier traffic for one round.
+func (b *Barrier) Absorb(ctx *congest.Context, inbox []congest.Envelope) {
+	for _, env := range inbox {
+		seq := env.Msg.Arg(0)
+		switch env.Msg.Kind {
+		case wire.KindBarrierUp:
+			b.childReports[seq]++
+			b.maybeSendUp(ctx, seq)
+		case wire.KindBarrierGo:
+			b.release(ctx, seq, int64(env.Msg.Arg(1)))
+		}
+	}
+}
+
+func (b *Barrier) maybeSendUp(ctx *congest.Context, seq int32) {
+	if b.sentUp[seq] || !b.arrived[seq] || b.childReports[seq] != len(b.tree.Children) {
+		return
+	}
+	b.sentUp[seq] = true
+	if b.tree.IsRoot(ctx.ID()) {
+		b.release(ctx, seq, ctx.Round()+b.ReleaseDelay)
+	} else {
+		ctx.Send(b.tree.Parent, wire.Msg(wire.KindBarrierUp, seq))
+	}
+}
+
+func (b *Barrier) release(ctx *congest.Context, seq int32, startRound int64) {
+	if b.released[seq] {
+		return
+	}
+	b.released[seq] = true
+	b.startRound[seq] = startRound
+	for _, child := range b.tree.Children {
+		ctx.Send(child, wire.Msg(wire.KindBarrierGo, seq, int32(startRound)))
+	}
+}
+
+// Released reports whether barrier seq has been released at this node.
+func (b *Barrier) Released(seq int32) bool { return b.released[seq] }
+
+// StartRound returns the common round at which the phase following barrier
+// seq begins (valid once Released(seq) is true). Every node receives the same
+// value, giving the network a synchronized phase boundary.
+func (b *Barrier) StartRound(seq int32) int64 { return b.startRound[seq] }
+
+// MemoryWords estimates retained state for metering.
+func (b *Barrier) MemoryWords() int64 {
+	return int64(len(b.childReports) + len(b.arrived) + len(b.sentUp) + len(b.released))
+}

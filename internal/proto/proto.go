@@ -1,0 +1,152 @@
+// Package proto implements the reusable distributed primitives the paper's
+// algorithms are built from: flooding broadcast scoped to a subgraph, leader
+// election by minimum-id flooding, and BFS-tree construction. All primitives
+// run in the CONGEST model via package congest and are written as embeddable
+// state machines so algorithm nodes can compose them.
+package proto
+
+import (
+	"dhc/internal/congest"
+	"dhc/internal/graph"
+	"dhc/internal/wire"
+)
+
+// Flooder is a per-node state machine implementing min-id leader election by
+// flooding: every node repeatedly forwards the smallest candidate id it has
+// seen. After Rounds() rounds with no new information for `patience` rounds,
+// the node with id == minimum considers itself leader.
+//
+// In a connected graph, flooding stabilizes after diameter rounds; callers
+// that know an upper bound D on the diameter should run the flooder for D
+// rounds and then read Leader.
+type Flooder struct {
+	// Best is the smallest id heard so far (initially the node's own).
+	Best graph.NodeID
+	// changed reports whether Best improved last round.
+	changed bool
+}
+
+// NewFlooder initializes election state for the given node.
+func NewFlooder(self graph.NodeID) *Flooder {
+	return &Flooder{Best: self, changed: true}
+}
+
+// Start sends the initial candidate to all neighbors. Call from Init.
+func (f *Flooder) Start(ctx *congest.Context) {
+	for _, nb := range ctx.Neighbors() {
+		ctx.Send(nb, wire.Msg(wire.KindCandidate, int32(f.Best)))
+	}
+	f.changed = false
+}
+
+// Absorb processes this round's candidate messages and forwards improvements.
+// It returns true if Best changed.
+func (f *Flooder) Absorb(ctx *congest.Context, inbox []congest.Envelope) bool {
+	improved := false
+	for _, env := range inbox {
+		if env.Msg.Kind != wire.KindCandidate {
+			continue
+		}
+		if c := graph.NodeID(env.Msg.Arg(0)); c < f.Best {
+			f.Best = c
+			improved = true
+		}
+	}
+	if improved {
+		for _, nb := range ctx.Neighbors() {
+			ctx.Send(nb, wire.Msg(wire.KindCandidate, int32(f.Best)))
+		}
+	}
+	f.changed = improved
+	return improved
+}
+
+// IsLeader reports whether this node currently believes it is the leader.
+func (f *Flooder) IsLeader(self graph.NodeID) bool { return f.Best == self }
+
+// BFSState is a per-node state machine that builds a BFS tree rooted at a
+// designated node. The root sends KindBFSExplore in its start round; every
+// node adopts the first explorer heard (ties broken by smallest sender id,
+// which the simulator's sorted inboxes give us for free) and forwards the
+// exploration. Children acknowledge adoption so parents learn their subtree
+// edges.
+type BFSState struct {
+	Root     graph.NodeID
+	Parent   graph.NodeID // -1 until adopted
+	Level    int32        // hop distance from root; -1 until adopted
+	Children []graph.NodeID
+	// InScope, if non-nil, restricts the tree to a vertex subset: explore
+	// messages are only sent to in-scope neighbors (DHC builds one tree
+	// per partition).
+	InScope func(graph.NodeID) bool
+	// Tag distinguishes concurrent BFS instances (e.g. the global tree vs
+	// per-partition trees); explore/ack messages carry it.
+	Tag int32
+}
+
+// NewBFSState returns idle BFS state; the root adopts itself at Start.
+func NewBFSState(root graph.NodeID) *BFSState {
+	return &BFSState{Root: root, Parent: -1, Level: -1}
+}
+
+// NewScopedBFSState returns BFS state restricted to a vertex subset.
+func NewScopedBFSState(root graph.NodeID, inScope func(graph.NodeID) bool) *BFSState {
+	return &BFSState{Root: root, Parent: -1, Level: -1, InScope: inScope}
+}
+
+func (b *BFSState) sendExplore(ctx *congest.Context, except graph.NodeID) {
+	for _, nb := range ctx.Neighbors() {
+		if nb == except {
+			continue
+		}
+		if b.InScope != nil && !b.InScope(nb) {
+			continue
+		}
+		ctx.Send(nb, wire.Msg(wire.KindBFSExplore, b.Level, b.Tag))
+	}
+}
+
+// Start begins exploration if this node is the root. Call from the round the
+// BFS should begin.
+func (b *BFSState) Start(ctx *congest.Context) {
+	if ctx.ID() != b.Root {
+		return
+	}
+	b.Parent = b.Root
+	b.Level = 0
+	b.sendExplore(ctx, -1)
+}
+
+// Absorb processes explore/ack messages for one round. It returns true if the
+// node adopted a parent this round. After the BFS has quiesced (2*depth
+// rounds), Parent/Level/Children are final.
+func (b *BFSState) Absorb(ctx *congest.Context, inbox []congest.Envelope) bool {
+	adopted := false
+	for _, env := range inbox {
+		switch env.Msg.Kind {
+		case wire.KindBFSExplore:
+			if env.Msg.Arg(1) != b.Tag {
+				continue
+			}
+			if b.Parent < 0 {
+				b.Parent = env.From
+				b.Level = env.Msg.Arg(0) + 1
+				adopted = true
+				ctx.Send(env.From, wire.Msg(wire.KindBFSAck, 0, b.Tag))
+				b.sendExplore(ctx, env.From)
+			}
+		case wire.KindBFSAck:
+			if env.Msg.Arg(1) != b.Tag {
+				continue
+			}
+			b.Children = append(b.Children, env.From)
+		}
+	}
+	return adopted
+}
+
+// Adopted reports whether this node has joined the tree.
+func (b *BFSState) Adopted() bool { return b.Parent >= 0 }
+
+// IsRoot reports whether this node is the tree root.
+func (b *BFSState) IsRoot(self graph.NodeID) bool { return self == b.Root }

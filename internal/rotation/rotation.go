@@ -1,0 +1,239 @@
+// Package rotation implements the randomized rotation algorithm of Angluin &
+// Valiant for finding Hamiltonian cycles in random graphs, as a step-level
+// state machine (paper Section II-A.2, Algorithm 1; Fig. 2).
+//
+// One step is either a path extension or a rotation — the unit in which
+// Theorem 2 states its 7·n·ln(n) bound. The state machine is engine-neutral:
+// the sequential baseline runs it directly, the DRA CONGEST nodes mirror its
+// transitions with messages, and the step simulator drives it while charging
+// the paper's per-step broadcast cost.
+package rotation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+// Failure modes of the rotation process, matching the events of the paper's
+// Theorem 2 analysis.
+var (
+	// ErrStepBudget corresponds to event E1: the step budget elapsed
+	// without closing the cycle.
+	ErrStepBudget = errors.New("rotation: step budget exhausted before cycle closed")
+	// ErrOutOfEdges corresponds to event E2: the head ran out of unused
+	// edges.
+	ErrOutOfEdges = errors.New("rotation: head has no unused edges")
+)
+
+// EventKind describes what a single Step did.
+type EventKind uint8
+
+const (
+	// Extended means the path grew by one vertex.
+	Extended EventKind = iota + 1
+	// Rotated means a rotation at position J occurred (requires a
+	// renumbering broadcast in the distributed implementation).
+	Rotated
+	// Closed means the cycle closed: the head reached the tail with the
+	// path spanning all vertices.
+	Closed
+)
+
+// Event reports one step of the process.
+type Event struct {
+	Kind EventKind
+	// Head is the head before the step; Chosen is the neighbor it picked.
+	Head, Chosen graph.NodeID
+	// H and J are the broadcast parameters of a rotation (path length and
+	// rotation position); H is also set for Closed (== n).
+	H, J int
+}
+
+// Config tunes the state machine.
+type Config struct {
+	// MaxSteps bounds the number of steps; 0 selects ceil(7 n ln n) + 16,
+	// the budget of Theorem 2 (the +16 keeps tiny graphs from rounding to
+	// budgets smaller than n).
+	MaxSteps int64
+	// ThinningP, if positive, activates the analysis coupling of Theorem 2:
+	// each node's initial unused list keeps each incident edge
+	// independently with probability q/p where q = 1 - sqrt(1-p), so the
+	// retained pair probability is exactly q. Zero keeps every edge (the
+	// practical algorithm, which only does better).
+	ThinningP float64
+}
+
+// DefaultMaxSteps returns the Theorem 2 step budget for an n-vertex graph.
+func DefaultMaxSteps(n int) int64 {
+	if n < 2 {
+		return 16
+	}
+	return int64(math.Ceil(7*float64(n)*math.Log(float64(n)))) + 16
+}
+
+// Stats meters a run at step granularity.
+type Stats struct {
+	Steps      int64
+	Extensions int64
+	Rotations  int64
+	// RemovalsPerNode[v] counts unused-edge removals charged to v
+	// (event E2.1 of the analysis bounds these by 21 ln n whp).
+	RemovalsPerNode []int64
+}
+
+// Machine is the rotation process state. Create with New, then call Step
+// until it returns a Closed event or an error, or use Run.
+type Machine struct {
+	g      *graph.Graph
+	src    *rng.Source
+	cfg    Config
+	path   *cycle.Path
+	unused [][]graph.NodeID // per node, remaining unused incident edges
+	stats  Stats
+	done   bool
+}
+
+// New initializes the process with the given start vertex as initial head.
+func New(g *graph.Graph, start graph.NodeID, src *rng.Source, cfg Config) *Machine {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps(g.N())
+	}
+	m := &Machine{
+		g:    g,
+		src:  src,
+		cfg:  cfg,
+		path: cycle.NewPath(start),
+		stats: Stats{
+			RemovalsPerNode: make([]int64, g.N()),
+		},
+	}
+	m.unused = make([][]graph.NodeID, g.N())
+	keep := 1.0
+	if cfg.ThinningP > 0 {
+		q := 1 - math.Sqrt(1-cfg.ThinningP)
+		keep = q / cfg.ThinningP
+	}
+	for v := 0; v < g.N(); v++ {
+		nbs := g.Neighbors(graph.NodeID(v))
+		list := make([]graph.NodeID, 0, len(nbs))
+		for _, nb := range nbs {
+			if keep >= 1 || src.Bernoulli(keep) {
+				list = append(list, nb)
+			}
+		}
+		m.unused[v] = list
+	}
+	return m
+}
+
+// Path exposes the current path (read-only use intended).
+func (m *Machine) Path() *cycle.Path { return m.path }
+
+// Stats returns the current step statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// UnusedCount returns the number of unused edges remaining at v, for memory
+// accounting in the distributed wrappers.
+func (m *Machine) UnusedCount(v graph.NodeID) int { return len(m.unused[v]) }
+
+// Done reports whether the machine has produced a Closed event.
+func (m *Machine) Done() bool { return m.done }
+
+// Step performs one extension or rotation. After the cycle closes, further
+// calls return an error.
+func (m *Machine) Step() (Event, error) {
+	if m.done {
+		return Event{}, errors.New("rotation: machine already closed the cycle")
+	}
+	if m.stats.Steps >= m.cfg.MaxSteps {
+		return Event{}, fmt.Errorf("%w: %d steps", ErrStepBudget, m.stats.Steps)
+	}
+	head := m.path.Head()
+	u, ok := m.popRandomUnused(head)
+	if !ok {
+		return Event{}, fmt.Errorf("%w: node %d after %d steps", ErrOutOfEdges, head, m.stats.Steps)
+	}
+	m.stats.Steps++
+	h := m.path.Len()
+
+	// Algorithm 1, OnReceive progress(pos): the receiver u also discards
+	// the used edge from its own list.
+	m.removeUnused(u, head)
+
+	pos := m.path.Position(u)
+	switch {
+	case pos == 0:
+		// First visit: extend.
+		m.path.Extend(u)
+		m.stats.Extensions++
+		return Event{Kind: Extended, Head: head, Chosen: u, H: h + 1}, nil
+	case h == m.g.N() && pos == 1:
+		// progress(pos = |V|) arriving at the tail: success.
+		m.done = true
+		return Event{Kind: Closed, Head: head, Chosen: u, H: h}, nil
+	default:
+		// Rotation at j = pos (the head is at position h; renumbering
+		// i <- h + j + 1 - i is applied by Path.Rotate).
+		m.path.Rotate(pos)
+		m.stats.Rotations++
+		return Event{Kind: Rotated, Head: head, Chosen: u, H: h, J: pos}, nil
+	}
+}
+
+// Run steps the machine to completion and returns the Hamiltonian cycle.
+func (m *Machine) Run() (*cycle.Cycle, Stats, error) {
+	for {
+		ev, err := m.Step()
+		if err != nil {
+			return nil, m.stats, err
+		}
+		if ev.Kind == Closed {
+			return m.path.CloseCycle(), m.stats, nil
+		}
+	}
+}
+
+// popRandomUnused removes and returns a uniformly random entry of v's unused
+// list.
+func (m *Machine) popRandomUnused(v graph.NodeID) (graph.NodeID, bool) {
+	list := m.unused[v]
+	if len(list) == 0 {
+		return 0, false
+	}
+	i := m.src.Intn(len(list))
+	u := list[i]
+	list[i] = list[len(list)-1]
+	m.unused[v] = list[:len(list)-1]
+	m.stats.RemovalsPerNode[v]++
+	return u, true
+}
+
+// removeUnused removes w from v's unused list if present.
+func (m *Machine) removeUnused(v, w graph.NodeID) {
+	list := m.unused[v]
+	for i, x := range list {
+		if x == w {
+			list[i] = list[len(list)-1]
+			m.unused[v] = list[:len(list)-1]
+			m.stats.RemovalsPerNode[v]++
+			return
+		}
+	}
+}
+
+// Solve runs the full sequential Angluin–Valiant algorithm on g: it starts
+// from a random vertex and returns the Hamiltonian cycle, or the failure of
+// the single attempt (the paper's algorithms do not restart; whp analysis
+// covers one attempt).
+func Solve(g *graph.Graph, src *rng.Source, cfg Config) (*cycle.Cycle, Stats, error) {
+	if g.N() < 3 {
+		return nil, Stats{}, fmt.Errorf("rotation: need n >= 3, got %d", g.N())
+	}
+	start := graph.NodeID(src.Intn(g.N()))
+	return New(g, start, src, cfg).Run()
+}

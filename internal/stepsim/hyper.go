@@ -1,0 +1,167 @@
+package stepsim
+
+import (
+	"errors"
+
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+	"dhc/internal/rotation"
+)
+
+// hyperRotation runs the orientation-aware hypernode rotation of DHC1
+// Phase 2 at step granularity (the sequential twin of
+// internal/core/hyper.go): each partition contributes a hypernode with an
+// incoming port u_i and outgoing port v_i; the rotation process runs over
+// hypernodes, flipping per-hypernode orientation on segment reversals and
+// rejecting probes that land on an occupied entry port. It returns the full
+// lifted Hamiltonian cycle and the number of steps (probes) consumed.
+func hyperRotation(g *graph.Graph, subcycles []*cycle.Cycle, src *rng.Source) (*cycle.Cycle, int64, error) {
+	k := len(subcycles)
+	type portInfo struct {
+		hyp int
+		isU bool
+	}
+	ports := make(map[graph.NodeID]portInfo, 2*k)
+	uOf := make([]graph.NodeID, k)
+	vOf := make([]graph.NodeID, k)
+	for i, sc := range subcycles {
+		r := src.Intn(sc.Len())
+		uOf[i] = sc.At(r)
+		vOf[i] = sc.At(r - 1)
+		ports[uOf[i]] = portInfo{hyp: i, isU: true}
+		ports[vOf[i]] = portInfo{hyp: i, isU: false}
+	}
+	// Pools: candidate neighbor ports of other hypernodes, per port.
+	pool := make(map[graph.NodeID][]graph.NodeID, 2*k)
+	for p, info := range ports {
+		for _, nb := range g.Neighbors(p) {
+			if o, ok := ports[nb]; ok && o.hyp != info.hyp {
+				pool[p] = append(pool[p], nb)
+			}
+		}
+	}
+	idx := make([]int32, k) // hyperpath position, 0 = off-path
+	rev := make([]bool, k)  // orientation: false = enter u exit v
+	idx[0] = 1
+	head := 0
+	pathLen := int32(1)
+	maxSteps := 4 * rotation.DefaultMaxSteps(k)
+	var steps int64
+
+	exitPortOf := func(h int) graph.NodeID {
+		if rev[h] {
+			return uOf[h]
+		}
+		return vOf[h]
+	}
+	enterPortOf := func(h int) graph.NodeID {
+		if rev[h] {
+			return vOf[h]
+		}
+		return uOf[h]
+	}
+	popRandom := func(p graph.NodeID) (graph.NodeID, bool) {
+		list := pool[p]
+		if len(list) == 0 {
+			return 0, false
+		}
+		i := src.Intn(len(list))
+		t := list[i]
+		list[i] = list[len(list)-1]
+		pool[p] = list[:len(list)-1]
+		return t, true
+	}
+	removeFrom := func(p, q graph.NodeID) {
+		list := pool[p]
+		for i, x := range list {
+			if x == q {
+				list[i] = list[len(list)-1]
+				pool[p] = list[:len(list)-1]
+				return
+			}
+		}
+	}
+
+	for {
+		if steps >= maxSteps {
+			return nil, steps, errors.New("hypernode rotation exceeded step budget")
+		}
+		x := exitPortOf(head)
+		target, ok := popRandom(x)
+		if !ok {
+			return nil, steps, errors.New("hypernode head out of candidate edges")
+		}
+		steps++
+		removeFrom(target, x)
+		info := ports[target]
+		kk := info.hyp
+		switch {
+		case idx[kk] == 1 && target == enterPortOf(kk) && pathLen == int32(k):
+			// Closed: splice the lifted cycle.
+			hc, err := liftHyperCycle(subcycles, uOf, vOf, idx, rev)
+			return hc, steps, err
+		case idx[kk] == 0:
+			idx[kk] = pathLen + 1
+			rev[kk] = !info.isU // entering at v means flipped orientation
+			head = kk
+			pathLen++
+		case target == exitPortOf(kk):
+			// Rotation at j = idx[kk]: reverse segment (j, h].
+			j, h := idx[kk], pathLen
+			newHead := -1
+			for c := 0; c < k; c++ {
+				if j < idx[c] && idx[c] <= h {
+					idx[c] = h + j + 1 - idx[c]
+					rev[c] = !rev[c]
+					if idx[c] == h {
+						newHead = c
+					}
+				}
+			}
+			if newHead < 0 {
+				return nil, steps, errors.New("rotation produced no head")
+			}
+			head = newHead
+		default:
+			// Rejected probe: entry port occupied; head retries.
+		}
+	}
+}
+
+// liftHyperCycle splices partition subcycles into the full Hamiltonian cycle
+// following hypernode indices and orientations.
+func liftHyperCycle(subcycles []*cycle.Cycle, uOf, vOf []graph.NodeID, idx []int32, rev []bool) (*cycle.Cycle, error) {
+	k := len(subcycles)
+	byIdx := make([]int, k)
+	for c := 0; c < k; c++ {
+		if idx[c] < 1 || int(idx[c]) > k {
+			return nil, errors.New("hypernode indices not a permutation")
+		}
+		byIdx[idx[c]-1] = c
+	}
+	var order []graph.NodeID
+	for _, c := range byIdx {
+		sc := subcycles[c]
+		// Forward arc u..v in subcycle orientation (v is u's predecessor,
+		// so the arc covers the whole partition).
+		start := 0
+		for i := 0; i < sc.Len(); i++ {
+			if sc.At(i) == uOf[c] {
+				start = i
+				break
+			}
+		}
+		arc := make([]graph.NodeID, 0, sc.Len())
+		for i := 0; i < sc.Len(); i++ {
+			arc = append(arc, sc.At(start+i))
+		}
+		if rev[c] {
+			for i, j := 0, len(arc)-1; i < j; i, j = i+1, j-1 {
+				arc[i], arc[j] = arc[j], arc[i]
+			}
+		}
+		order = append(order, arc...)
+	}
+	return cycle.FromOrder(order), nil
+}

@@ -1,0 +1,335 @@
+// Package stepsim executes the paper's algorithms at rotation-step
+// granularity and charges synchronous-round costs the same way the exact
+// CONGEST engine does (one round per extension, BroadcastRounds+2 per
+// rotation, O(B) per phase of scaffolding). It exists because an exact
+// per-edge simulation of G(n, c·ln n/√n) has Θ(n^1.5·ln n) edges and is too
+// slow beyond n ≈ a few thousand, while the theorems are about asymptotic
+// shape: stepsim reproduces the round/step counts for n up to 10^6 in
+// seconds. Agreement with the exact engine on overlapping sizes is checked
+// by crosscheck tests.
+package stepsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+	"dhc/internal/rotation"
+)
+
+// ErrFailed is returned when a simulated run fails to build a Hamiltonian
+// cycle.
+var ErrFailed = errors.New("stepsim: run failed")
+
+// Cost is the round/step accounting of a simulated run.
+type Cost struct {
+	Rounds     int64
+	Steps      int64
+	Extensions int64
+	Rotations  int64
+	// B is the broadcast bound used to price rotations.
+	B int64
+	// Phase1Rounds / Phase2Rounds split the total for the DHC algorithms.
+	Phase1Rounds int64
+	Phase2Rounds int64
+	// Restarts counts partition-level retries.
+	Restarts int64
+}
+
+// broadcastBound mirrors the exact engine's choice: one BFS gives
+// 2·ecc+1 >= diameter.
+func broadcastBound(g *graph.Graph) int64 {
+	if g.N() == 0 {
+		return 1
+	}
+	return int64(2*g.BFS(0).Ecc + 1)
+}
+
+// chargeRotationRounds prices a machine run like the adaptive exact engine:
+// extensions cost one round, rotations cost B+2 (broadcast settle plus the
+// probe/response exchange).
+func chargeRotationRounds(st rotation.Stats, b int64) int64 {
+	return st.Extensions + st.Rotations*(b+2) + 2
+}
+
+// DRA simulates the standalone Distributed Rotation Algorithm on g.
+func DRA(g *graph.Graph, seed uint64, maxAttempts int) (*cycle.Cycle, Cost, error) {
+	src := rng.New(seed)
+	b := broadcastBound(g)
+	cost := Cost{B: b}
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for a := 0; a < maxAttempts; a++ {
+		m := rotation.New(g, graph.NodeID(src.Intn(g.N())), src, rotation.Config{})
+		hc, st, err := m.Run()
+		cost.Steps += st.Steps
+		cost.Extensions += st.Extensions
+		cost.Rotations += st.Rotations
+		cost.Rounds += chargeRotationRounds(st, b)
+		if err == nil {
+			return hc, cost, nil
+		}
+		lastErr = err
+		cost.Restarts++
+		cost.Rounds += 2*b + 2 // failure flood + quiet period
+	}
+	return nil, cost, fmt.Errorf("%w: %v", ErrFailed, lastErr)
+}
+
+// partition assigns each vertex one of k colors uniformly, mirroring DHC
+// Phase 1.
+func partition(n, k int, src *rng.Source) [][]graph.NodeID {
+	classes := make([][]graph.NodeID, k)
+	for v := 0; v < n; v++ {
+		c := src.Intn(k)
+		classes[c] = append(classes[c], graph.NodeID(v))
+	}
+	return classes
+}
+
+// phase1Result carries one partition's subcycle in original vertex ids.
+type phase1Result struct {
+	cycles []*cycle.Cycle // per color, nil on failure
+	// maxRounds is the slowest partition's DRA cost (they run in parallel).
+	maxRounds int64
+	steps     int64
+	restarts  int64
+	sizes     []int
+	scopeB    int64 // max partition broadcast bound
+}
+
+// runPhase1 builds per-partition Hamiltonian subcycles with restarts. A
+// coloring that produces an unusably small or disconnected partition is
+// redrawn entirely (the distributed analogue: a failure flood triggers a
+// global recolor), up to maxAttempts times.
+func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts int) (*phase1Result, error) {
+	var err error
+	for a := 0; a < maxAttempts; a++ {
+		var res *phase1Result
+		res, err = runPhase1Once(g, k, src, maxAttempts)
+		if err == nil {
+			return res, nil
+		}
+	}
+	return nil, err
+}
+
+func runPhase1Once(g *graph.Graph, k int, src *rng.Source, maxAttempts int) (*phase1Result, error) {
+	classes := partition(g.N(), k, src)
+	res := &phase1Result{
+		cycles: make([]*cycle.Cycle, k),
+		sizes:  make([]int, k),
+		scopeB: 1,
+	}
+	for c, class := range classes {
+		res.sizes[c] = len(class)
+		if len(class) < 3 {
+			return nil, fmt.Errorf("%w: partition %d has %d nodes", ErrFailed, c, len(class))
+		}
+		sub, orig := g.InducedSubgraph(class)
+		if !sub.Connected() {
+			return nil, fmt.Errorf("%w: partition %d disconnected", ErrFailed, c)
+		}
+		b := broadcastBound(sub)
+		if b > res.scopeB {
+			res.scopeB = b
+		}
+		var rounds int64
+		var got *cycle.Cycle
+		for a := 0; a < maxAttempts; a++ {
+			m := rotation.New(sub, graph.NodeID(src.Intn(sub.N())), src, rotation.Config{})
+			hc, st, err := m.Run()
+			res.steps += st.Steps
+			rounds += chargeRotationRounds(st, b)
+			if err == nil {
+				got = hc.Relabel(orig)
+				break
+			}
+			res.restarts++
+			rounds += 2*b + 2
+		}
+		if got == nil {
+			return nil, fmt.Errorf("%w: partition %d exhausted %d attempts", ErrFailed, c, maxAttempts)
+		}
+		res.cycles[c] = got
+		if rounds > res.maxRounds {
+			res.maxRounds = rounds
+		}
+	}
+	return res, nil
+}
+
+// scaffolding is the Phase 1 setup cost in rounds (color exchange, scoped
+// election, scope BFS, size count, barrier), matching internal/core's
+// schedule.
+func scaffolding(b int64) int64 { return 4*b + 8 + 2*b + 2 }
+
+// DHC1 simulates Algorithm 2: Phase 1 partitioning plus the hypernode
+// rotation of Phase 2 (with port orientations; see internal/core/hyper.go).
+func DHC1(g *graph.Graph, seed uint64, numColors int, maxAttempts int) (*cycle.Cycle, Cost, error) {
+	n := g.N()
+	if numColors <= 0 {
+		numColors = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if numColors > n/3 {
+		numColors = n / 3
+	}
+	if numColors < 1 {
+		numColors = 1
+	}
+	src := rng.New(seed)
+	if maxAttempts < 1 {
+		maxAttempts = 6
+	}
+	p1, err := runPhase1(g, numColors, src, maxAttempts)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	gb := broadcastBound(g)
+	cost := Cost{
+		B:            p1.scopeB,
+		Steps:        p1.steps,
+		Restarts:     p1.restarts,
+		Phase1Rounds: scaffolding(p1.scopeB) + p1.maxRounds,
+	}
+	if numColors == 1 {
+		cost.Rounds = cost.Phase1Rounds
+		hc := p1.cycles[0]
+		if err := hc.Verify(g); err != nil {
+			return nil, cost, fmt.Errorf("%w: %v", ErrFailed, err)
+		}
+		return hc, cost, nil
+	}
+	var hc *cycle.Cycle
+	var p2rounds int64
+	ok := false
+	for a := 0; a < maxAttempts; a++ {
+		var steps int64
+		hc, steps, err = hyperRotation(g, p1.cycles, src)
+		// Selection flood + port announcement + rotation steps priced at
+		// the global broadcast bound (hyper floods are global).
+		p2rounds += gb + 2 + steps*(gb+2)
+		cost.Steps += steps
+		if err == nil {
+			ok = true
+			break
+		}
+		cost.Restarts++
+		p2rounds += 2*gb + 2
+	}
+	cost.Phase2Rounds = p2rounds
+	cost.Rounds = cost.Phase1Rounds + cost.Phase2Rounds
+	if !ok {
+		return nil, cost, fmt.Errorf("%w: phase 2: %v", ErrFailed, err)
+	}
+	if err := hc.Verify(g); err != nil {
+		return nil, cost, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	return hc, cost, nil
+}
+
+// DHC2 simulates Algorithm 3: Phase 1 partitioning plus ⌈log₂ K⌉ parallel
+// pairwise merge levels.
+func DHC2(g *graph.Graph, seed uint64, delta float64, numColors int, maxAttempts int) (*cycle.Cycle, Cost, error) {
+	n := g.N()
+	if numColors <= 0 {
+		if delta <= 0 || delta > 1 {
+			return nil, Cost{}, fmt.Errorf("stepsim: delta %v outside (0, 1]", delta)
+		}
+		numColors = int(math.Round(math.Pow(float64(n), 1-delta)))
+	}
+	if numColors > n/3 {
+		numColors = n / 3
+	}
+	if numColors < 1 {
+		numColors = 1
+	}
+	src := rng.New(seed)
+	if maxAttempts < 1 {
+		maxAttempts = 6
+	}
+	p1, err := runPhase1(g, numColors, src, maxAttempts)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	cost := Cost{
+		B:            p1.scopeB,
+		Steps:        p1.steps,
+		Restarts:     p1.restarts,
+		Phase1Rounds: scaffolding(p1.scopeB) + p1.maxRounds,
+	}
+	cycles := make([]*cycle.Cycle, 0, numColors)
+	cycles = append(cycles, p1.cycles...)
+	levels := int64(0)
+	for len(cycles) > 1 {
+		levels++
+		next := make([]*cycle.Cycle, 0, (len(cycles)+1)/2)
+		for i := 0; i+1 < len(cycles); i += 2 {
+			merged, err := mergePair(g, cycles[i], cycles[i+1], src)
+			if err != nil {
+				return nil, cost, fmt.Errorf("%w: merge level %d: %v", ErrFailed, levels, err)
+			}
+			next = append(next, merged)
+		}
+		if len(cycles)%2 == 1 {
+			next = append(next, cycles[len(cycles)-1])
+		}
+		cycles = next
+	}
+	// Each level costs 2B+10 rounds (probe exchanges plus two scoped
+	// broadcasts), mirroring internal/core/merge.go.
+	cost.Phase2Rounds = levels * (2*p1.scopeB + 10)
+	cost.Rounds = cost.Phase1Rounds + cost.Phase2Rounds
+	hc := cycles[0]
+	if err := hc.Verify(g); err != nil {
+		return nil, cost, fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	return hc, cost, nil
+}
+
+// mergePair finds a bridge between two cycles (paper Fig. 3) and merges
+// them. It mirrors the distributed bridge search: for each cycle edge
+// (v -> u) of the first cycle, a neighbor w on the second cycle bridges if
+// (v, w) and (u, succ(w)) — or (u, pred(w)) — are graph edges.
+func mergePair(g *graph.Graph, c1, c2 *cycle.Cycle, src *rng.Source) (*cycle.Cycle, error) {
+	on2 := make(map[graph.NodeID]int, c2.Len())
+	for i := 0; i < c2.Len(); i++ {
+		on2[c2.At(i)] = i
+	}
+	// Scan first-cycle edges in random rotation order so merges do not
+	// systematically favor low ids.
+	offset := src.Intn(c1.Len())
+	for i := 0; i < c1.Len(); i++ {
+		v := c1.At(offset + i)
+		u := c1.At(offset + i + 1)
+		for _, w := range g.Neighbors(v) {
+			wi, ok := on2[w]
+			if !ok {
+				continue
+			}
+			wSucc := c2.At(wi + 1)
+			wPred := c2.At(wi - 1)
+			if g.HasEdge(u, wSucc) {
+				b := cycle.Bridge{
+					E1: cycle.OrientedEdge{V: v, U: u},
+					E2: cycle.OrientedEdge{V: w, U: wSucc},
+				}
+				return cycle.MergeTwo(c1, c2, b)
+			}
+			if g.HasEdge(u, wPred) {
+				b := cycle.Bridge{
+					E1:      cycle.OrientedEdge{V: v, U: u},
+					E2:      cycle.OrientedEdge{V: wPred, U: w},
+					Crossed: true,
+				}
+				return cycle.MergeTwo(c1, c2, b)
+			}
+		}
+	}
+	return nil, errors.New("no bridge found")
+}

@@ -1,0 +1,146 @@
+package stepsim
+
+import (
+	"math"
+	"testing"
+
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+func denseGNP(n int, p float64, seed uint64) *graph.Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+func TestDRASim(t *testing.T) {
+	n := 500
+	p := 10 * math.Log(float64(n)) / float64(n)
+	g := denseGNP(n, p, 1)
+	hc, cost, err := DRA(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds <= cost.Steps {
+		t.Fatalf("rounds %d should exceed steps %d (rotations pay D)", cost.Rounds, cost.Steps)
+	}
+}
+
+func TestDHC1Sim(t *testing.T) {
+	g := denseGNP(600, 0.7, 3)
+	hc, cost, err := DHC1(g, 4, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Phase1Rounds == 0 || cost.Phase2Rounds == 0 {
+		t.Fatalf("phase split missing: %+v", cost)
+	}
+}
+
+func TestDHC2Sim(t *testing.T) {
+	g := denseGNP(800, 0.5, 5)
+	hc, cost, err := DHC2(g, 6, 0, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds != cost.Phase1Rounds+cost.Phase2Rounds {
+		t.Fatalf("phase accounting inconsistent: %+v", cost)
+	}
+}
+
+func TestDHC2SimWithDelta(t *testing.T) {
+	n := 1000
+	p := graph.HCThresholdP(n, 16, 0.5)
+	g := denseGNP(n, p, 7)
+	hc, _, err := DHC2(g, 8, 0.5, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpcastSim(t *testing.T) {
+	n := 1000
+	p := 3 * math.Log(float64(n)) / math.Sqrt(float64(n))
+	g := denseGNP(n, p, 9)
+	hc, cost, err := Upcast(g, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds <= 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestTrivialSim(t *testing.T) {
+	g := denseGNP(300, 0.2, 11)
+	hc, cost, err := Trivial(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds < int64(g.M())/int64(g.Degree(0)) {
+		t.Fatalf("trivial baseline must pay ~m/deg rounds, got %d", cost.Rounds)
+	}
+}
+
+func TestLevySim(t *testing.T) {
+	n := 400
+	p := 12 * math.Log(float64(n)) / float64(n)
+	g := denseGNP(n, p, 13)
+	hc, cost, err := Levy(g, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hc.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Rounds == 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestDRAFailsOnPath(t *testing.T) {
+	if _, _, err := DRA(graph.Path(20), 1, 2); err == nil {
+		t.Fatal("path accepted")
+	}
+}
+
+func TestDHC2DenserIsFaster(t *testing.T) {
+	// The paper's headline: the denser the graph, the smaller the running
+	// time. Compare rounds at delta=0.3 vs delta=0.6 (same n, suitable p).
+	n := 2000
+	fast, slow := int64(0), int64(0)
+	for seed := uint64(0); seed < 2; seed++ {
+		gDense := denseGNP(n, graph.HCThresholdP(n, 20, 0.3), 100+seed)
+		gSparse := denseGNP(n, graph.HCThresholdP(n, 20, 0.6), 200+seed)
+		_, cd, err := DHC2(gDense, seed, 0.3, 0, 6)
+		if err != nil {
+			t.Fatalf("dense seed %d: %v", seed, err)
+		}
+		_, cs, err := DHC2(gSparse, seed, 0.6, 0, 6)
+		if err != nil {
+			t.Fatalf("sparse seed %d: %v", seed, err)
+		}
+		fast += cd.Rounds
+		slow += cs.Rounds
+	}
+	if fast >= slow {
+		t.Fatalf("denser graph not faster: delta=0.3 %d rounds vs delta=0.6 %d", fast, slow)
+	}
+}

@@ -1,0 +1,345 @@
+// Package upcast implements the centralized algorithm of paper Section III:
+// elect a leader, build a BFS tree, have every node sample Θ(log n) of its
+// incident edges and upcast them to the root through the tree (pipelined,
+// one message per tree edge per round), let the root compute a Hamiltonian
+// cycle locally on the sampled subgraph, and downcast each node's cycle
+// successor back along the tree.
+//
+// The algorithm works in the CONGEST model but is deliberately NOT fully
+// distributed: the root stores Θ(n log n) words (every sampled edge) and
+// internal tree nodes keep routing tables proportional to their subtree
+// size. The memory metering exposes exactly this imbalance — experiment E7
+// contrasts it with DHC1/DHC2.
+package upcast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dhc/internal/congest"
+	"dhc/internal/cycle"
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/proto"
+	"dhc/internal/rotation"
+	"dhc/internal/wire"
+)
+
+// ErrNoHC is returned when the root cannot find a Hamiltonian cycle in the
+// sampled subgraph.
+var ErrNoHC = errors.New("upcast: sampled subgraph has no Hamiltonian cycle")
+
+const treeTag int32 = 3
+
+// Options configures a run.
+type Options struct {
+	// SamplesPerNode is c'·log n, the number of incident edges each node
+	// samples (capped by its degree). Zero selects ceil(3·ln n).
+	SamplesPerNode int
+	// B bounds the election/BFS settling time (0 = 2·ecc(0)+1).
+	B int64
+	// RootAttempts is how many times the root retries the local rotation
+	// algorithm on the sampled subgraph (local computation is free in
+	// CONGEST). Zero selects 20.
+	RootAttempts int
+}
+
+// node is the per-node program.
+type node struct {
+	opts Options
+
+	flood *proto.Flooder
+	tree  *proto.BFSState
+	count *proto.Counter
+
+	samples []graph.Edge // own sampled incident edges
+	queue   []wire.Message
+	// route[v] is the child whose subtree contains v (root + internal).
+	route map[graph.NodeID]graph.NodeID
+	// root-only state
+	collected []graph.Edge
+	expect    int64
+	solved    bool
+	failed    bool
+
+	// downcast output
+	succ     graph.NodeID
+	haveSucc bool
+	doneSent bool
+	childQ   map[graph.NodeID][]wire.Message
+}
+
+var _ congest.Node = (*node)(nil)
+
+func (u *node) electEnd() int64   { return u.opts.B + 1 }
+func (u *node) bfsEnd() int64     { return 2*u.opts.B + 1 }
+func (u *node) countStart() int64 { return 2*u.opts.B + 2 }
+func (u *node) upcastAt() int64   { return 4*u.opts.B + 8 }
+
+func (u *node) Init(ctx *congest.Context) {
+	u.flood = proto.NewFlooder(ctx.ID())
+	u.flood.Start(ctx)
+	u.succ = -1
+	u.route = make(map[graph.NodeID]graph.NodeID)
+	u.childQ = make(map[graph.NodeID][]wire.Message)
+}
+
+func (u *node) Round(ctx *congest.Context, inbox []congest.Envelope) {
+	round := ctx.Round()
+	switch {
+	case round <= u.electEnd():
+		u.flood.Absorb(ctx, inbox)
+		if round == u.electEnd() {
+			u.tree = proto.NewBFSState(u.flood.Best)
+			u.tree.Tag = treeTag
+			u.tree.Start(ctx)
+		}
+	case round <= u.bfsEnd():
+		u.tree.Absorb(ctx, inbox)
+	case round == u.countStart():
+		u.pickSamples(ctx)
+		own := int64(len(u.samples))
+		if u.isRoot(ctx) {
+			own = 0 // the root keeps its samples local
+		}
+		u.count = proto.NewCounter(u.tree, own, treeTag)
+		u.count.Tick(ctx, inbox)
+	case round < u.upcastAt():
+		u.count.Tick(ctx, inbox)
+	default:
+		u.tickUpcast(ctx, inbox)
+	}
+	u.observeMemory(ctx)
+}
+
+func (u *node) isRoot(ctx *congest.Context) bool {
+	return u.tree != nil && u.tree.IsRoot(ctx.ID())
+}
+
+// pickSamples draws SamplesPerNode distinct incident edges uniformly.
+func (u *node) pickSamples(ctx *congest.Context) {
+	nbs := ctx.Neighbors()
+	k := u.opts.SamplesPerNode
+	if k >= len(nbs) {
+		for _, nb := range nbs {
+			u.samples = append(u.samples, graph.Edge{U: ctx.ID(), V: nb})
+		}
+		return
+	}
+	perm := ctx.Rand().Perm(len(nbs))
+	for _, i := range perm[:k] {
+		u.samples = append(u.samples, graph.Edge{U: ctx.ID(), V: nbs[i]})
+	}
+}
+
+// tickUpcast runs the pipelined upcast, root solve, and downcast.
+func (u *node) tickUpcast(ctx *congest.Context, inbox []congest.Envelope) {
+	round := ctx.Round()
+	if round == u.upcastAt() {
+		// Enqueue own samples (origin = self) for the parent.
+		if !u.isRoot(ctx) {
+			for _, e := range u.samples {
+				u.queue = append(u.queue, wire.Msg(wire.KindEdgeSample,
+					int32(e.U), int32(e.V), int32(ctx.ID())))
+			}
+		} else {
+			u.expect = u.count.Total
+			u.collected = append(u.collected, u.samples...)
+			u.route[ctx.ID()] = ctx.ID()
+		}
+	}
+	for _, env := range inbox {
+		switch env.Msg.Kind {
+		case wire.KindEdgeSample:
+			origin := graph.NodeID(env.Msg.Arg(2))
+			u.route[origin] = env.From
+			if u.isRoot(ctx) {
+				u.collected = append(u.collected,
+					graph.Edge{U: graph.NodeID(env.Msg.Arg(0)), V: graph.NodeID(env.Msg.Arg(1))})
+				u.expect--
+			} else {
+				u.queue = append(u.queue, env.Msg)
+			}
+		case wire.KindHCEdge:
+			v := graph.NodeID(env.Msg.Arg(0))
+			if v == ctx.ID() {
+				u.succ = graph.NodeID(env.Msg.Arg(1))
+				u.haveSucc = true
+			} else if child, ok := u.route[v]; ok {
+				u.childQ[child] = append(u.childQ[child], env.Msg)
+			}
+		case wire.KindBroadcast:
+			// Done marker: enqueue behind routed traffic on every child.
+			for _, child := range u.tree.Children {
+				u.childQ[child] = append(u.childQ[child], env.Msg)
+			}
+			u.doneSent = true
+		case wire.KindSuccess:
+			// Failure flood from the root.
+			u.failed = true
+			forward(ctx, env.Msg, env.From)
+		}
+	}
+	if u.failed {
+		ctx.Halt()
+		return
+	}
+	// Root: solve once everything arrived.
+	if u.isRoot(ctx) && !u.solved && u.expect <= 0 && round > u.upcastAt() {
+		u.solveAtRoot(ctx)
+	}
+	// Pipelined forwarding: one message per edge per round.
+	if len(u.queue) > 0 && !u.isRoot(ctx) {
+		ctx.Send(u.tree.Parent, u.queue[0])
+		u.queue = u.queue[1:]
+	}
+	doneAllChildren := true
+	for _, child := range u.tree.Children {
+		q := u.childQ[child]
+		if len(q) == 0 {
+			continue
+		}
+		ctx.Send(child, q[0])
+		u.childQ[child] = q[1:]
+		if len(q) > 1 || q[0].Kind != wire.KindBroadcast {
+			doneAllChildren = false
+		}
+	}
+	// Halt when our successor arrived, the done marker passed through, and
+	// all queues drained.
+	if u.haveSucc && u.doneSent && doneAllChildren && len(u.queue) == 0 {
+		ctx.Halt()
+	}
+}
+
+// solveAtRoot builds the sampled subgraph, runs the sequential rotation
+// algorithm (with retries — local computation is free in the model), and
+// starts the downcast.
+func (u *node) solveAtRoot(ctx *congest.Context) {
+	u.solved = true
+	b := graph.NewBuilder(ctx.N())
+	for _, e := range u.collected {
+		b.AddEdge(e.U, e.V)
+	}
+	sampled := b.Build()
+	attempts := u.opts.RootAttempts
+	if attempts == 0 {
+		attempts = 20
+	}
+	var hc *cycle.Cycle
+	for a := 0; a < attempts; a++ {
+		c, _, err := rotation.Solve(sampled, ctx.Rand(), rotation.Config{})
+		if err == nil {
+			hc = c
+			break
+		}
+	}
+	if hc == nil {
+		u.failed = true
+		forward(ctx, wire.Msg(wire.KindSuccess, 0, treeTag), -1)
+		return
+	}
+	succ := hc.Successors()
+	u.succ = succ[ctx.ID()]
+	u.haveSucc = true
+	for v, s := range succ {
+		if v == ctx.ID() {
+			continue
+		}
+		child, ok := u.route[v]
+		if !ok {
+			// A node whose samples never reached us (possible only if it
+			// had none); without a route the downcast cannot complete.
+			u.failed = true
+			forward(ctx, wire.Msg(wire.KindSuccess, 0, treeTag), -1)
+			return
+		}
+		u.childQ[child] = append(u.childQ[child], wire.Msg(wire.KindHCEdge, int32(v), int32(s)))
+	}
+	for _, child := range u.tree.Children {
+		u.childQ[child] = append(u.childQ[child], wire.Msg(wire.KindBroadcast, 1, treeTag))
+	}
+	u.doneSent = true
+}
+
+func (u *node) observeMemory(ctx *congest.Context) {
+	words := int64(len(u.samples)*2+len(u.queue)*3+len(u.route)) + 16
+	words += int64(len(u.collected) * 2)
+	for _, q := range u.childQ {
+		words += int64(len(q)) * 2
+	}
+	ctx.ObserveMemory(words)
+}
+
+func forward(ctx *congest.Context, m wire.Message, except graph.NodeID) {
+	for _, nb := range ctx.Neighbors() {
+		if nb != except {
+			ctx.Send(nb, m)
+		}
+	}
+}
+
+// Result is a successful run's output.
+type Result struct {
+	Cycle    *cycle.Cycle
+	Counters *metrics.Counters
+	// RootMemoryWords is the root's memory high-water, demonstrating the
+	// Ω(n) concentration.
+	RootMemoryWords int64
+}
+
+// Run executes the Upcast algorithm on g.
+func Run(g *graph.Graph, seed uint64, opts Options, netOpts congest.Options) (*Result, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, fmt.Errorf("upcast: need n >= 3, got %d", n)
+	}
+	if opts.B == 0 {
+		opts.B = int64(2*g.BFS(0).Ecc + 1)
+	}
+	if opts.SamplesPerNode == 0 {
+		opts.SamplesPerNode = int(math.Ceil(3 * math.Log(float64(n))))
+	}
+	if netOpts.MaxRounds == 0 {
+		// Upcast/downcast move O(n log n) messages over the root edges in
+		// the worst (star) case.
+		netOpts.MaxRounds = 8*opts.B + int64(n)*int64(opts.SamplesPerNode+2) + 4096
+	}
+	progs := make([]*node, n)
+	nodes := make([]congest.Node, n)
+	for i := range nodes {
+		progs[i] = &node{opts: opts}
+		nodes[i] = progs[i]
+	}
+	net, err := congest.NewNetwork(g, nodes, netOpts)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := net.Run(seed)
+	if err != nil {
+		return nil, fmt.Errorf("upcast: %w", err)
+	}
+	succ := make(map[graph.NodeID]graph.NodeID, n)
+	for v, p := range progs {
+		if p.failed {
+			return nil, fmt.Errorf("%w (node %d saw failure flood)", ErrNoHC, v)
+		}
+		if !p.haveSucc {
+			return nil, fmt.Errorf("upcast: node %d never received its successor", v)
+		}
+		succ[graph.NodeID(v)] = p.succ
+	}
+	hc, err := cycle.FromSuccessors(succ, 0)
+	if err != nil {
+		return nil, fmt.Errorf("upcast: bad successor structure: %w", err)
+	}
+	if err := hc.Verify(g); err != nil {
+		return nil, fmt.Errorf("upcast: invalid cycle: %w", err)
+	}
+	return &Result{
+		Cycle:           hc,
+		Counters:        counters,
+		RootMemoryWords: counters.MemoryDistribution().Max,
+	}, nil
+}
