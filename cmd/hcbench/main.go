@@ -27,14 +27,15 @@ func main() {
 
 func run() error {
 	var (
-		only   = flag.String("only", "", "comma-separated experiment ids (E1,E2,E3,E4,E6,E8,D1)")
-		trials = flag.Int("trials", 3, "trials per sweep point")
-		scale  = flag.Float64("scale", 1, "multiplier on the default n grids")
-		seed   = flag.Uint64("seed", 1, "base seed")
+		only    = flag.String("only", "", "comma-separated experiment ids (E1,E2,E3,E4,E6,E8,D1)")
+		trials  = flag.Int("trials", 3, "trials per sweep point")
+		scale   = flag.Float64("scale", 1, "multiplier on the default n grids")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		workers = flag.Int("workers", 1, "step-engine phase-1 worker pool size (identical results at any value)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Trials: *trials, Scale: *scale, Seed: *seed}
+	cfg := bench.Config{Trials: *trials, Scale: *scale, Seed: *seed, Workers: *workers}
 	runners := map[string]func(bench.Config) *bench.Table{
 		"E1": bench.E1, "E2": bench.E2, "E3": bench.E3,
 		"E4": bench.E4, "E6": bench.E6, "E8": bench.E8, "D1": bench.D1,

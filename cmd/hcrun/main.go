@@ -32,7 +32,7 @@ func run() error {
 		delta    = flag.Float64("delta", 0.5, "sparsity exponent delta")
 		seed     = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
 		engine   = flag.String("engine", "exact", "engine: exact or step")
-		workers  = flag.Int("workers", 1, "exact-engine parallel workers")
+		workers  = flag.Int("workers", 1, "parallel workers (exact-engine executor / step-engine phase-1 shards)")
 		colors   = flag.Int("colors", 0, "override partition count K")
 		asJSON   = flag.Bool("json", false, "JSON output")
 		quiet    = flag.Bool("q", false, "suppress the cycle itself")

@@ -1,0 +1,83 @@
+package dhc
+
+// Cross-engine agreement tests: the exact CONGEST engine simulates every
+// round and message, the step engine charges the paper's round costs at
+// rotation-step granularity. The two must agree up to a constant factor —
+// that agreement is what licenses using the step engine for the large-n
+// scaling experiments (the promise made in internal/stepsim's package doc).
+
+import (
+	"fmt"
+	"testing"
+)
+
+// crossEngineRoundSlack bounds the multiplicative disagreement between the
+// exact engine's measured rounds and the step engine's charged rounds, in
+// either direction. Measured ratios on the fixed instances below range from
+// 0.53 (DRA: the step engine over-charges rotations at the full broadcast
+// bound) to 5.3 (DHC1/DHC2: the exact engine pays scaffolding the step
+// engine prices more tightly); 8 leaves constant-factor headroom without
+// letting an asymptotic divergence slip through.
+const crossEngineRoundSlack = 8
+
+func crosscheckAlgos() []Algorithm {
+	return []Algorithm{AlgorithmDRA, AlgorithmDHC1, AlgorithmDHC2, AlgorithmUpcast}
+}
+
+func TestCrosscheckEngines(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g := NewGNP(n, 0.8, uint64(n))
+		k := n / 16
+		for _, algo := range crosscheckAlgos() {
+			t.Run(fmt.Sprintf("%s/n=%d", algo, n), func(t *testing.T) {
+				opts := Options{Seed: 7, NumColors: k, Delta: 0.5}
+				exact, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("exact engine: %v", err)
+				}
+				opts.Engine = EngineStep
+				step, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("step engine: %v", err)
+				}
+				for name, res := range map[string]*Result{"exact": exact, "step": step} {
+					if err := Verify(g, res.Cycle); err != nil {
+						t.Fatalf("%s engine produced invalid cycle: %v", name, err)
+					}
+					if res.Rounds <= 0 {
+						t.Fatalf("%s engine charged no rounds", name)
+					}
+				}
+				lo, hi := exact.Rounds, step.Rounds
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if hi > crossEngineRoundSlack*lo {
+					t.Fatalf("engines disagree beyond %dx slack: exact=%d step=%d",
+						crossEngineRoundSlack, exact.Rounds, step.Rounds)
+				}
+			})
+		}
+	}
+}
+
+// TestCrosscheckPhaseAccounting pins the invariant both engines share: for
+// the two-phase algorithms the total equals the phase split.
+func TestCrosscheckPhaseAccounting(t *testing.T) {
+	g := NewGNP(128, 0.8, 128)
+	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+		for _, engine := range []Engine{EngineExact, EngineStep} {
+			res, err := Solve(g, algo, Options{Seed: 3, NumColors: 8, Engine: engine})
+			if err != nil {
+				t.Fatalf("%s engine %d: %v", algo, engine, err)
+			}
+			if res.Phase1Rounds <= 0 || res.Phase2Rounds <= 0 {
+				t.Fatalf("%s engine %d: missing phase split %+v", algo, engine, res)
+			}
+			if res.Phase1Rounds+res.Phase2Rounds != res.Rounds {
+				t.Fatalf("%s engine %d: phases %d+%d != total %d",
+					algo, engine, res.Phase1Rounds, res.Phase2Rounds, res.Rounds)
+			}
+		}
+	}
+}

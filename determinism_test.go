@@ -1,0 +1,129 @@
+package dhc
+
+// Determinism regression tests: same graph + same seed must yield a
+// byte-identical cycle and identical cost metrics for both engines, at every
+// Workers value. This pins the exact engine's parallel executor and the step
+// engine's sharded phase 1 to sequential behavior — the property both rely
+// on for reproducible experiments.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fingerprint reduces a Result to a comparable string covering the cycle
+// order and every cost the engines meter.
+func fingerprint(res *Result) string {
+	s := fmt.Sprintf("cycle=%v rounds=%d steps=%d p1=%d p2=%d",
+		res.Cycle.Order(), res.Rounds, res.Steps, res.Phase1Rounds, res.Phase2Rounds)
+	if res.Counters != nil {
+		s += fmt.Sprintf(" messages=%d bits=%d maxMsgBits=%d mem=%+v work=%+v",
+			res.Counters.Messages, res.Counters.Bits, res.Counters.MaxMessageBits,
+			res.Counters.MemoryDistribution(), res.Counters.WorkDistribution())
+	}
+	return s
+}
+
+var workerGrid = []int{0, 1, 4}
+
+func TestDeterminismAcrossWorkersStep(t *testing.T) {
+	g := NewGNP(400, 0.6, 11)
+	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			var want string
+			for _, workers := range workerGrid {
+				for rep := 0; rep < 2; rep++ {
+					res, err := Solve(g, algo, Options{
+						Seed: 21, Engine: EngineStep, NumColors: 16, Workers: workers,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+					}
+					got := fingerprint(res)
+					if want == "" {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Fatalf("workers=%d rep=%d diverged:\n got %s\nwant %s",
+							workers, rep, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDeterminismAcrossWorkersExact(t *testing.T) {
+	g := NewGNP(160, 0.7, 13)
+	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			var want string
+			for _, workers := range workerGrid {
+				res, err := Solve(g, algo, Options{
+					Seed: 5, NumColors: 8, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got := fingerprint(res)
+				if want == "" {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("workers=%d diverged:\n got %s\nwant %s", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismSingleMachine covers the algorithms without a partition
+// phase (DRA, Upcast): repeat runs must be identical for both engines.
+func TestDeterminismSingleMachine(t *testing.T) {
+	g := NewGNP(200, 0.7, 17)
+	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmUpcast} {
+		for _, engine := range []Engine{EngineExact, EngineStep} {
+			t.Run(fmt.Sprintf("%s/engine=%d", algo, engine), func(t *testing.T) {
+				var want string
+				for rep := 0; rep < 2; rep++ {
+					res, err := Solve(g, algo, Options{Seed: 9, Engine: engine})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := fingerprint(res)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("rep %d diverged:\n got %s\nwant %s", rep, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGraphGenerationDeterminism pins the generators themselves: the CSR
+// build paths (two-pass GNP, batch-sampled GNM) must stay pure functions of
+// the seed.
+func TestGraphGenerationDeterminism(t *testing.T) {
+	for rep := 0; rep < 2; rep++ {
+		g1 := NewGNP(300, 0.1, 23)
+		g2 := NewGNP(300, 0.1, 23)
+		if g1.M() != g2.M() {
+			t.Fatal("GNP not deterministic")
+		}
+		h1 := NewGNM(300, 2000, 29)
+		h2 := NewGNM(300, 2000, 29)
+		e1, e2 := h1.Edges(), h2.Edges()
+		if len(e1) != len(e2) {
+			t.Fatal("GNM not deterministic")
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("GNM edge %d differs: %v vs %v", i, e1[i], e2[i])
+			}
+		}
+	}
+}

@@ -133,7 +133,9 @@ type Options struct {
 	Delta float64
 	// NumColors overrides the partition count K for DHC1/DHC2.
 	NumColors int
-	// Workers enables the exact engine's parallel executor.
+	// Workers bounds run parallelism: the exact engine's parallel executor
+	// and the step engine's sharded phase 1. Any value (0, 1, 4, ...)
+	// produces byte-identical results; only wall-clock changes.
 	Workers int
 	// MaxAttempts bounds restart retries (step engine and partition DRA).
 	MaxAttempts int
@@ -217,6 +219,12 @@ func solveStep(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	if attempts == 0 {
 		attempts = 6
 	}
+	simOpts := stepsim.Options{
+		NumColors:   opts.NumColors,
+		Delta:       opts.Delta,
+		MaxAttempts: attempts,
+		Workers:     opts.Workers,
+	}
 	var (
 		hc   *Cycle
 		cost stepsim.Cost
@@ -226,9 +234,9 @@ func solveStep(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	case AlgorithmDRA:
 		hc, cost, err = stepsim.DRA(g, opts.Seed, attempts)
 	case AlgorithmDHC1:
-		hc, cost, err = stepsim.DHC1(g, opts.Seed, opts.NumColors, attempts)
+		hc, cost, err = stepsim.DHC1(g, opts.Seed, simOpts)
 	case AlgorithmDHC2:
-		hc, cost, err = stepsim.DHC2(g, opts.Seed, opts.Delta, opts.NumColors, attempts)
+		hc, cost, err = stepsim.DHC2(g, opts.Seed, simOpts)
 	case AlgorithmUpcast:
 		hc, cost, err = stepsim.Upcast(g, opts.Seed, opts.SamplesPerNode)
 	default:

@@ -1,0 +1,3 @@
+module dhc
+
+go 1.22

@@ -17,6 +17,19 @@ type Config struct {
 	// Scale multiplies the default n grids (1 = default; 0.5 halves).
 	Scale float64
 	Seed  uint64
+	// Workers shards the step engine's phase 1 across a worker pool.
+	// Results are identical for every value; only wall-clock changes.
+	Workers int
+}
+
+// simOpts builds the step-engine options for one sweep point.
+func (c Config) simOpts(delta float64, numColors int) stepsim.Options {
+	return stepsim.Options{
+		Delta:       delta,
+		NumColors:   numColors,
+		MaxAttempts: 6,
+		Workers:     c.Workers,
+	}
 }
 
 func (c Config) trials() int {
@@ -104,7 +117,7 @@ func E2(cfg Config) *Table {
 		ok := 0
 		for tr := 0; tr < cfg.trials(); tr++ {
 			g := graph.GNP(n, p, rng.New(cfg.Seed+uint64(n*37+tr)))
-			_, cost, err := stepsim.DHC1(g, cfg.Seed+uint64(tr), 0, 6)
+			_, cost, err := stepsim.DHC1(g, cfg.Seed+uint64(tr), cfg.simOpts(0, 0))
 			rounds += cost.Rounds
 			steps += cost.Steps
 			p1 += cost.Phase1Rounds
@@ -184,7 +197,7 @@ func E4(cfg Config) *Table {
 			ok := 0
 			for tr := 0; tr < cfg.trials(); tr++ {
 				g := graph.GNP(n, p, rng.New(cfg.Seed+uint64(n*41+tr)))
-				_, cost, err := stepsim.DHC2(g, cfg.Seed+uint64(tr), delta, 0, 6)
+				_, cost, err := stepsim.DHC2(g, cfg.Seed+uint64(tr), cfg.simOpts(delta, 0))
 				rounds += cost.Rounds
 				steps += cost.Steps
 				if err == nil {
@@ -261,11 +274,11 @@ func E8(cfg Config) *Table {
 		}
 		algos := []algo{
 			{"dhc1", func(g *graph.Graph, s uint64) (int64, error) {
-				_, c, err := stepsim.DHC1(g, s, 0, 6)
+				_, c, err := stepsim.DHC1(g, s, cfg.simOpts(0, 0))
 				return c.Rounds, err
 			}},
 			{"dhc2", func(g *graph.Graph, s uint64) (int64, error) {
-				_, c, err := stepsim.DHC2(g, s, 0.5, 0, 6)
+				_, c, err := stepsim.DHC2(g, s, cfg.simOpts(0.5, 0))
 				return c.Rounds, err
 			}},
 			{"upcast", func(g *graph.Graph, s uint64) (int64, error) {

@@ -1,0 +1,90 @@
+package cycle
+
+import (
+	"testing"
+
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+// naiveVerify is an independent oracle for Cycle.Verify: straight-line
+// checks with linear neighbor scans (no binary search, no shared helpers
+// beyond the graph accessors), so a bug in either implementation shows up as
+// a disagreement.
+func naiveVerify(g *graph.Graph, order []graph.NodeID) bool {
+	n := g.N()
+	if len(order) != n || n < 3 {
+		return false
+	}
+	seen := make(map[graph.NodeID]bool, n)
+	for _, v := range order {
+		if int(v) < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	adjacent := func(u, v graph.NodeID) bool {
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i, v := range order {
+		if !adjacent(v, order[(i+1)%n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzVerify feeds arbitrary vertex sequences (including out-of-range ids,
+// repeats, and wrong lengths) to Cycle.Verify on random graphs and requires
+// exact agreement with the naive oracle — and no panics on any input.
+func FuzzVerify(f *testing.F) {
+	f.Add(uint8(8), uint16(1), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add(uint8(5), uint16(2), []byte{4, 3, 2, 1, 0})
+	f.Add(uint8(3), uint16(3), []byte{})
+	f.Add(uint8(6), uint16(4), []byte{0, 0, 1, 2, 3, 4})
+	f.Add(uint8(4), uint16(5), []byte{250, 251, 252, 253})
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed uint16, raw []byte) {
+		n := int(nRaw)%64 + 3
+		g := graph.GNP(n, 0.5, rng.New(uint64(seed)))
+		// Map bytes to ids in [-1, n+1] so out-of-range values are exercised.
+		order := make([]graph.NodeID, len(raw))
+		for i, b := range raw {
+			order[i] = graph.NodeID(int(b)%(n+3) - 1)
+		}
+		c := FromOrder(order)
+		got := c.Verify(g) == nil
+		want := naiveVerify(g, order)
+		if got != want {
+			t.Fatalf("Verify=%v oracle=%v for n=%d order=%v", got, want, n, order)
+		}
+	})
+}
+
+// FuzzVerifyAcceptsRealCycles drives the positive path: a ring graph's
+// identity order is always a Hamiltonian cycle, and any rotation or
+// reflection of it must also verify.
+func FuzzVerifyAcceptsRealCycles(f *testing.F) {
+	f.Add(uint8(5), uint8(0), false)
+	f.Add(uint8(12), uint8(7), true)
+	f.Fuzz(func(t *testing.T, nRaw, shift uint8, reflect bool) {
+		n := int(nRaw)%64 + 3
+		g := graph.Ring(n)
+		order := make([]graph.NodeID, n)
+		for i := 0; i < n; i++ {
+			j := (i + int(shift)) % n
+			if reflect {
+				j = (n - i + int(shift)) % n
+			}
+			order[i] = graph.NodeID(j)
+		}
+		if err := FromOrder(order).Verify(g); err != nil {
+			t.Fatalf("valid ring traversal rejected (n=%d shift=%d reflect=%v): %v",
+				n, shift, reflect, err)
+		}
+	})
+}

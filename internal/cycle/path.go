@@ -11,95 +11,273 @@ import (
 // (Algorithm 1 keeps cycindex = 0 for unvisited vertices and assigns the
 // initial head cycindex = 1).
 //
-// Internally Path maintains both the ordered vertex slice and the inverse
-// position map, so that Rotate is O(1) bookkeeping plus the renumbering range
-// and membership queries are O(1).
+// Internally Path is an implicit treap with lazy suffix reversal: Extend,
+// Rotate, Position, At, and Head are all O(log h). This matters because a
+// rotation reverses the whole path suffix after position j — on an array
+// that is Θ(h) per rotation and makes the rotation process Θ(n²) overall,
+// which is exactly the wall that kept the step engine from 10^5+-vertex
+// partitions. Treap priorities come from a private deterministic stream
+// (they never touch the caller's RNG), so the sequence of observable states
+// is identical to the array implementation's.
 type Path struct {
-	verts []graph.NodeID       // verts[i] is the vertex at position i+1
-	pos   map[graph.NodeID]int // pos[v] is the 1-based position of v, 0 if absent
+	nodes []pathNode
+	root  int32
+	// vnode[v] is the arena index of v's node, -1 while v is off the path.
+	// Vertex ids are dense, so a growable slice beats a map by an order of
+	// magnitude on the per-step Position lookups.
+	vnode []int32
+	// prioState seeds the deterministic treap priorities (splitmix64 of the
+	// insertion counter).
+	prioState uint64
+	// scratch holds the root-to-node chain reused by Position.
+	scratch []int32
+}
+
+const nilNode = int32(-1)
+
+type pathNode struct {
+	l, r, p int32
+	size    int32
+	prio    uint64
+	rev     bool
+	v       graph.NodeID
 }
 
 // NewPath returns a path containing just the start vertex (the initial head).
 func NewPath(start graph.NodeID) *Path {
-	return &Path{
-		verts: []graph.NodeID{start},
-		pos:   map[graph.NodeID]int{start: 1},
+	p := &Path{root: nilNode, prioState: 0x9e3779b97f4a7c15}
+	p.root = p.newNode(start)
+	return p
+}
+
+func (p *Path) newNode(v graph.NodeID) int32 {
+	// splitmix64: deterministic, well-distributed priorities per insertion.
+	p.prioState += 0x9e3779b97f4a7c15
+	z := p.prioState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	idx := int32(len(p.nodes))
+	p.nodes = append(p.nodes, pathNode{
+		l: nilNode, r: nilNode, p: nilNode,
+		size: 1, prio: z ^ (z >> 31), v: v,
+	})
+	for int(v) >= len(p.vnode) {
+		p.vnode = append(p.vnode, nilNode)
+	}
+	p.vnode[v] = idx
+	return idx
+}
+
+func (p *Path) size(x int32) int32 {
+	if x < 0 {
+		return 0
+	}
+	return p.nodes[x].size
+}
+
+// push resolves x's pending reversal by swapping its children and deferring
+// the flag to them.
+func (p *Path) push(x int32) {
+	n := &p.nodes[x]
+	if !n.rev {
+		return
+	}
+	n.l, n.r = n.r, n.l
+	if n.l >= 0 {
+		p.nodes[n.l].rev = !p.nodes[n.l].rev
+	}
+	if n.r >= 0 {
+		p.nodes[n.r].rev = !p.nodes[n.r].rev
+	}
+	n.rev = false
+}
+
+// pull recomputes x's size and claims its children's parent pointers.
+func (p *Path) pull(x int32) {
+	n := &p.nodes[x]
+	n.size = 1 + p.size(n.l) + p.size(n.r)
+	if n.l >= 0 {
+		p.nodes[n.l].p = x
+	}
+	if n.r >= 0 {
+		p.nodes[n.r].p = x
+	}
+}
+
+func (p *Path) merge(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if p.nodes[a].prio >= p.nodes[b].prio {
+		p.push(a)
+		p.nodes[a].r = p.merge(p.nodes[a].r, b)
+		p.pull(a)
+		return a
+	}
+	p.push(b)
+	p.nodes[b].l = p.merge(a, p.nodes[b].l)
+	p.pull(b)
+	return b
+}
+
+// split divides x's subtree into its first k elements and the rest.
+func (p *Path) split(x, k int32) (int32, int32) {
+	if x < 0 {
+		return nilNode, nilNode
+	}
+	p.push(x)
+	if ls := p.size(p.nodes[x].l); ls+1 <= k {
+		a, b := p.split(p.nodes[x].r, k-ls-1)
+		p.nodes[x].r = a
+		p.pull(x)
+		if b >= 0 {
+			p.nodes[b].p = nilNode
+		}
+		return x, b
+	}
+	a, b := p.split(p.nodes[x].l, k)
+	p.nodes[x].l = b
+	p.pull(x)
+	if a >= 0 {
+		p.nodes[a].p = nilNode
+	}
+	return a, x
+}
+
+// kth returns the node at 1-based position i, pushing flags on the way down.
+func (p *Path) kth(i int32) int32 {
+	x := p.root
+	for {
+		p.push(x)
+		ls := p.size(p.nodes[x].l)
+		switch {
+		case i <= ls:
+			x = p.nodes[x].l
+		case i == ls+1:
+			return x
+		default:
+			i -= ls + 1
+			x = p.nodes[x].r
+		}
 	}
 }
 
 // Len returns the number of vertices h on the path.
-func (p *Path) Len() int { return len(p.verts) }
+func (p *Path) Len() int { return int(p.size(p.root)) }
 
 // Head returns the current head v_h.
-func (p *Path) Head() graph.NodeID { return p.verts[len(p.verts)-1] }
+func (p *Path) Head() graph.NodeID { return p.nodes[p.kth(p.size(p.root))].v }
 
 // Tail returns v_1.
-func (p *Path) Tail() graph.NodeID { return p.verts[0] }
+func (p *Path) Tail() graph.NodeID { return p.nodes[p.kth(1)].v }
 
 // Position returns the 1-based position of v on the path, or 0 if absent.
-func (p *Path) Position(v graph.NodeID) int { return p.pos[v] }
+func (p *Path) Position(v graph.NodeID) int {
+	if int(v) < 0 || int(v) >= len(p.vnode) {
+		return 0
+	}
+	x := p.vnode[v]
+	if x < 0 {
+		return 0
+	}
+	// Settle pending reversals along the root-to-x chain (top down), then
+	// read the position off the settled tree bottom up.
+	chain := p.scratch[:0]
+	for y := x; y >= 0; y = p.nodes[y].p {
+		chain = append(chain, y)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		p.push(chain[i])
+	}
+	p.scratch = chain
+	pos := int(p.size(p.nodes[x].l)) + 1
+	for y := x; ; {
+		par := p.nodes[y].p
+		if par < 0 {
+			break
+		}
+		if p.nodes[par].r == y {
+			pos += int(p.size(p.nodes[par].l)) + 1
+		}
+		y = par
+	}
+	return pos
+}
 
 // Contains reports whether v lies on the path.
-func (p *Path) Contains(v graph.NodeID) bool { return p.pos[v] != 0 }
+func (p *Path) Contains(v graph.NodeID) bool {
+	return int(v) >= 0 && int(v) < len(p.vnode) && p.vnode[v] >= 0
+}
 
 // At returns the vertex at 1-based position i.
-func (p *Path) At(i int) graph.NodeID { return p.verts[i-1] }
+func (p *Path) At(i int) graph.NodeID { return p.nodes[p.kth(int32(i))].v }
 
 // Extend appends u as the new head. It panics if u is already on the path;
 // callers decide between Extend and Rotate by checking Contains first, which
 // mirrors the algorithm's branch on cycindex = 0.
 func (p *Path) Extend(u graph.NodeID) {
-	if p.pos[u] != 0 {
-		panic(fmt.Sprintf("cycle: Extend(%d) but vertex already at position %d", u, p.pos[u]))
+	if p.Contains(u) {
+		panic(fmt.Sprintf("cycle: Extend(%d) but vertex already at position %d", u, p.Position(u)))
 	}
-	p.verts = append(p.verts, u)
-	p.pos[u] = len(p.verts)
+	p.root = p.merge(p.root, p.newNode(u))
+	p.nodes[p.root].p = nilNode
 }
 
 // Rotate performs the rotation of paper Fig. 2 at the vertex with 1-based
 // position j: the path v_1..v_j v_{j+1}..v_h becomes
 // v_1..v_j v_h v_{h-1}..v_{j+1}, i.e. the suffix after v_j is reversed, and
-// the old v_{j+1} becomes the new head. Each affected vertex's position is
-// renumbered by i <- h + j + 1 - i, exactly the renumbering rule the
-// distributed algorithm broadcasts. It panics if j is out of [1, h-1].
+// the old v_{j+1} becomes the new head. The renumbering i <- h + j + 1 - i
+// of the paper is what the lazy reversal flag represents. It panics if j is
+// out of [1, h-1].
 func (p *Path) Rotate(j int) {
-	h := len(p.verts)
+	h := p.Len()
 	if j < 1 || j >= h {
 		panic(fmt.Sprintf("cycle: Rotate(j=%d) out of range for path length %d", j, h))
 	}
-	// Reverse verts[j..h-1] (0-based indices for positions j+1..h).
-	for lo, hi := j, h-1; lo < hi; lo, hi = lo+1, hi-1 {
-		p.verts[lo], p.verts[hi] = p.verts[hi], p.verts[lo]
-	}
-	for i := j; i < h; i++ {
-		p.pos[p.verts[i]] = i + 1
-	}
+	a, b := p.split(p.root, int32(j))
+	p.nodes[b].rev = !p.nodes[b].rev
+	p.root = p.merge(a, b)
+	p.nodes[p.root].p = nilNode
 }
 
 // Order returns the vertices in path order. The returned slice is a copy.
 func (p *Path) Order() []graph.NodeID {
-	out := make([]graph.NodeID, len(p.verts))
-	copy(out, p.verts)
+	out := make([]graph.NodeID, 0, p.Len())
+	var walk func(int32)
+	walk = func(x int32) {
+		if x < 0 {
+			return
+		}
+		p.push(x)
+		walk(p.nodes[x].l)
+		out = append(out, p.nodes[x].v)
+		walk(p.nodes[x].r)
+	}
+	walk(p.root)
 	return out
 }
 
 // CloseCycle converts the path into a Cycle. It does not check the closing
 // edge; use Verify on the result.
 func (p *Path) CloseCycle() *Cycle {
-	return FromOrder(p.verts)
+	return &Cycle{order: p.Order()}
 }
 
 // VerifyPath checks that consecutive path vertices are adjacent in g and
 // no vertex repeats.
 func (p *Path) VerifyPath(g *graph.Graph) error {
-	seen := make(map[graph.NodeID]bool, len(p.verts))
-	for i, v := range p.verts {
+	order := p.Order()
+	seen := make(map[graph.NodeID]bool, len(order))
+	for i, v := range order {
 		if seen[v] {
 			return fmt.Errorf("%w: path revisits %d", ErrNotCycle, v)
 		}
 		seen[v] = true
-		if i > 0 && !g.HasEdge(p.verts[i-1], v) {
-			return fmt.Errorf("%w: path uses non-edge (%d,%d)", ErrNotSubgraph, p.verts[i-1], v)
+		if i > 0 && !g.HasEdge(order[i-1], v) {
+			return fmt.Errorf("%w: path uses non-edge (%d,%d)", ErrNotSubgraph, order[i-1], v)
 		}
 	}
 	return nil

@@ -1,0 +1,88 @@
+package cycle
+
+import (
+	"testing"
+
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+// arrayPath is the straightforward reference model for Path: an ordered
+// slice plus inverse position map, with eager O(h) suffix reversal. The
+// treap implementation must match it state-for-state on any op sequence.
+type arrayPath struct {
+	verts []graph.NodeID
+	pos   map[graph.NodeID]int
+}
+
+func newArrayPath(start graph.NodeID) *arrayPath {
+	return &arrayPath{verts: []graph.NodeID{start}, pos: map[graph.NodeID]int{start: 1}}
+}
+
+func (p *arrayPath) extend(u graph.NodeID) {
+	p.verts = append(p.verts, u)
+	p.pos[u] = len(p.verts)
+}
+
+func (p *arrayPath) rotate(j int) {
+	h := len(p.verts)
+	for lo, hi := j, h-1; lo < hi; lo, hi = lo+1, hi-1 {
+		p.verts[lo], p.verts[hi] = p.verts[hi], p.verts[lo]
+	}
+	for i := j; i < h; i++ {
+		p.pos[p.verts[i]] = i + 1
+	}
+}
+
+// TestPathMatchesArrayModel drives random Extend/Rotate sequences through
+// both implementations and compares every observable after every op.
+func TestPathMatchesArrayModel(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		src := rng.New(seed)
+		n := 200
+		treap := NewPath(0)
+		model := newArrayPath(0)
+		next := graph.NodeID(1)
+		for op := 0; op < 2000; op++ {
+			if int(next) < n && (model.pos == nil || len(model.verts) < 2 || src.Bernoulli(0.4)) {
+				treap.Extend(next)
+				model.extend(next)
+				next++
+			} else {
+				j := 1 + src.Intn(len(model.verts)-1)
+				treap.Rotate(j)
+				model.rotate(j)
+			}
+			if treap.Len() != len(model.verts) {
+				t.Fatalf("seed %d op %d: Len %d vs model %d", seed, op, treap.Len(), len(model.verts))
+			}
+			if treap.Head() != model.verts[len(model.verts)-1] {
+				t.Fatalf("seed %d op %d: Head %d vs model %d",
+					seed, op, treap.Head(), model.verts[len(model.verts)-1])
+			}
+			if treap.Tail() != model.verts[0] {
+				t.Fatalf("seed %d op %d: Tail mismatch", seed, op)
+			}
+			// Spot-check positions and At on a few random vertices.
+			for probe := 0; probe < 4; probe++ {
+				v := graph.NodeID(src.Intn(n))
+				if treap.Position(v) != model.pos[v] {
+					t.Fatalf("seed %d op %d: Position(%d) = %d, model %d",
+						seed, op, v, treap.Position(v), model.pos[v])
+				}
+				i := 1 + src.Intn(len(model.verts))
+				if treap.At(i) != model.verts[i-1] {
+					t.Fatalf("seed %d op %d: At(%d) = %d, model %d",
+						seed, op, i, treap.At(i), model.verts[i-1])
+				}
+			}
+		}
+		// Full-order comparison at the end of each sequence.
+		got := treap.Order()
+		for i, v := range model.verts {
+			if got[i] != v {
+				t.Fatalf("seed %d: final order differs at %d: %v vs %v", seed, i, got, model.verts)
+			}
+		}
+	}
+}

@@ -12,20 +12,13 @@ import (
 // budget (only possible for the random-regular configuration model).
 var ErrGeneration = errors.New("graph: generation failed")
 
-// GNP samples an Erdős–Rényi G(n, p) random graph: every unordered pair is an
-// edge independently with probability p. Generation runs in expected
-// O(n + m) time by geometric skipping over the implicit pair enumeration
-// (Batagelj–Brandes), not O(n^2).
-func GNP(n int, p float64, src *rng.Source) *Graph {
-	b := NewBuilder(n)
-	if p <= 0 || n < 2 {
-		return b.Build()
-	}
-	if p >= 1 {
-		return Complete(n)
-	}
-	// Enumerate pairs (v, w) with w < v in row-major order and skip ahead by
-	// geometric gaps.
+// iterateGNP enumerates the G(n, p) edge set of src by Batagelj–Brandes
+// geometric skipping: pairs (v, w) with w < v are visited in row-major order,
+// jumping over absent edges, so the cost is O(n + m) instead of O(n^2). The
+// visit order is what lets GNP fill CSR rows pre-sorted: vertex x first sees
+// all smaller neighbors (while v == x, w ascending) and then all larger ones
+// (as w for ascending v > x).
+func iterateGNP(n int, p float64, src *rng.Source, visit func(v, w NodeID)) {
 	v, w := 1, -1
 	for v < n {
 		w += 1 + src.Geometric(p)
@@ -34,10 +27,70 @@ func GNP(n int, p float64, src *rng.Source) *Graph {
 			v++
 		}
 		if v < n {
-			b.AddEdge(NodeID(v), NodeID(w))
+			visit(NodeID(v), NodeID(w))
 		}
 	}
-	return b.Build()
+}
+
+// GNP samples an Erdős–Rényi G(n, p) random graph: every unordered pair is an
+// edge independently with probability p. It builds the CSR arrays directly in
+// two generator passes over the same RNG state (count degrees, rewind, fill
+// rows), so peak memory is the final graph plus O(n) — no edge list and no
+// hash set ever exist.
+func GNP(n int, p float64, src *rng.Source) *Graph {
+	if p <= 0 || n < 2 {
+		return newCSR(max(n, 0), nil)
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	saved := *src // snapshot for the second, identical pass
+	off := make([]int32, n+1)
+	var m int
+	iterateGNP(n, p, src, func(v, w NodeID) {
+		off[v+1]++
+		off[w+1]++
+		m++
+	})
+	guardHalfEdges(2 * m)
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	arena := make([]NodeID, 2*m)
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	*src = saved
+	iterateGNP(n, p, src, func(v, w NodeID) {
+		arena[cur[v]] = w
+		cur[v]++
+		arena[cur[w]] = v
+		cur[w]++
+	})
+	return &Graph{n: n, m: m, off: off, arena: arena}
+}
+
+// sampleDistinctEdges draws uniformly random vertex pairs (rejecting
+// self-loops) until exactly m distinct canonical edges have been collected,
+// deduplicating by sort between batches rather than with a hash set. The
+// returned slice is sorted. The resulting edge set is uniform over m-subsets,
+// like plain rejection sampling.
+func sampleDistinctEdges(n, m int, src *rng.Source) []Edge {
+	edges := make([]Edge, 0, m)
+	for {
+		for need := m - len(edges); need > 0; need-- {
+			u := NodeID(src.Intn(n))
+			v := NodeID(src.Intn(n))
+			for u == v {
+				u = NodeID(src.Intn(n))
+				v = NodeID(src.Intn(n))
+			}
+			edges = append(edges, Edge{U: u, V: v}.Canonical())
+		}
+		edges = sortDedupEdges(edges)
+		if len(edges) == m {
+			return edges
+		}
+	}
 }
 
 // GNM samples a uniform graph with exactly m distinct edges among n vertices
@@ -47,32 +100,34 @@ func GNM(n, m int, src *rng.Source) *Graph {
 	if m > maxM {
 		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d for n=%d", m, maxM, n))
 	}
-	b := NewBuilder(n)
+	if m <= 0 {
+		return newCSR(n, nil)
+	}
 	// Rejection sampling is fast while m << maxM; above half the density,
 	// sample the complement instead.
 	if m <= maxM/2 {
-		for b.NumEdges() < m {
-			u := NodeID(src.Intn(n))
-			v := NodeID(src.Intn(n))
-			b.AddEdge(u, v)
-		}
-		return b.Build()
+		return newCSR(n, sampleDistinctEdges(n, m, src))
 	}
-	// Dense regime: pick the maxM-m excluded edges, then add all others.
-	excluded := NewBuilder(n)
-	for excluded.NumEdges() < maxM-m {
-		u := NodeID(src.Intn(n))
-		v := NodeID(src.Intn(n))
-		excluded.AddEdge(u, v)
+	// Dense regime: pick the maxM-m excluded edges, then stream the
+	// complement (both lists are in sorted canonical order, so one pointer
+	// walk suffices and rows again arrive pre-sorted).
+	var excluded []Edge
+	if maxM-m > 0 {
+		excluded = sampleDistinctEdges(n, maxM-m, src)
 	}
+	edges := make([]Edge, 0, m)
+	idx := 0
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			if !excluded.HasEdge(NodeID(u), NodeID(v)) {
-				b.AddEdge(NodeID(u), NodeID(v))
+			e := Edge{U: NodeID(u), V: NodeID(v)}
+			if idx < len(excluded) && excluded[idx] == e {
+				idx++
+				continue
 			}
+			edges = append(edges, e)
 		}
 	}
-	return b.Build()
+	return newCSR(n, edges)
 }
 
 // RandomRegular samples a d-regular graph on n vertices using the
@@ -80,7 +135,8 @@ func GNM(n, m int, src *rng.Source) *Graph {
 // remaining stubs, skipping pairs that would create a loop or multi-edge, and
 // restart the whole construction only if no valid pair remains. For
 // d = o(n^{1/3}) the output is asymptotically uniform and restarts are rare.
-// n*d must be even and d < n.
+// n*d must be even and d < n. The pairing needs online duplicate detection,
+// so this generator keeps the hash-set Builder (n*d stays small).
 func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
 	if d >= n || d < 0 {
 		return nil, fmt.Errorf("%w: degree %d invalid for n=%d", ErrGeneration, d, n)
@@ -167,45 +223,45 @@ func findValidPair(stubs []NodeID, b *Builder) (int, int, bool) {
 
 // Ring returns the n-cycle 0-1-...-(n-1)-0.
 func Ring(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCSR(n, n)
 	for v := 0; v < n; v++ {
-		b.AddEdge(NodeID(v), NodeID((v+1)%n))
+		b.Add(NodeID(v), NodeID((v+1)%n))
 	}
 	return b.Build()
 }
 
 // Path returns the n-vertex path 0-1-...-(n-1).
 func Path(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCSR(n, n)
 	for v := 0; v+1 < n; v++ {
-		b.AddEdge(NodeID(v), NodeID(v+1))
+		b.Add(NodeID(v), NodeID(v+1))
 	}
 	return b.Build()
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	edges := make([]Edge, 0, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			b.AddEdge(NodeID(u), NodeID(v))
+			edges = append(edges, Edge{U: NodeID(u), V: NodeID(v)})
 		}
 	}
-	return b.Build()
+	return newCSR(n, edges)
 }
 
 // Grid returns the rows x cols grid graph (no Hamiltonian cycle when both
 // dimensions are odd; used for negative tests).
 func Grid(rows, cols int) *Graph {
-	b := NewBuilder(rows * cols)
+	b := NewBuilderCSR(rows*cols, 2*rows*cols)
 	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				b.AddEdge(id(r, c), id(r, c+1))
+				b.Add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				b.AddEdge(id(r, c), id(r+1, c))
+				b.Add(id(r, c), id(r+1, c))
 			}
 		}
 	}

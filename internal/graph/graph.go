@@ -4,8 +4,22 @@
 // and the structural queries the algorithms and their analyses need (BFS,
 // connectivity, diameter, degree statistics, induced subgraphs).
 //
-// Graphs are immutable after Build; all algorithm state lives in the
-// algorithm packages, never in the graph.
+// Graphs are immutable after Build and are stored in compressed-sparse-row
+// (CSR) form: one flat neighbor arena of 2m NodeIDs plus n+1 int32 offsets.
+// Row i of the arena (arena[off[i]:off[i+1]]) is the strictly sorted neighbor
+// list of vertex i, so Neighbors is a slice view, HasEdge is a binary search,
+// and the whole graph costs 8m + 4(n+1) bytes regardless of how it was
+// built. The layout caps the half-edge count 2m at 2^31-1 (about a billion
+// edges), far beyond what fits in memory for the sizes this repository runs.
+//
+// Two construction paths exist. Builder keeps a hash set of edges and
+// supports incremental duplicate detection (HasEdge before Build), which the
+// random-regular generator and edge-list decoding need. BuilderCSR is the
+// streaming path: it appends edges to a flat list and sorts/deduplicates once
+// at Build, never allocating per-edge map entries — this is what the G(n,p)
+// and G(n,M) generators use, and what makes graphs with 10^8+ edges
+// constructible. All algorithm state lives in the algorithm packages, never
+// in the graph.
 package graph
 
 import (
@@ -29,14 +43,74 @@ func (e Edge) Canonical() Edge {
 	return e
 }
 
-// Graph is an immutable undirected simple graph with vertices [0, n).
+// Graph is an immutable undirected simple graph with vertices [0, n), stored
+// as a CSR adjacency structure.
 type Graph struct {
-	n   int
-	m   int
-	adj [][]NodeID // sorted neighbor lists
+	n int
+	m int
+	// off[v]..off[v+1] delimit v's row in arena; len(off) == n+1.
+	off []int32
+	// arena holds all neighbor lists back to back; len(arena) == 2m and each
+	// row is strictly increasing.
+	arena []NodeID
 }
 
-// Builder accumulates edges and produces an immutable Graph.
+// newCSR builds a Graph from canonical (U < V) edges that are sorted by
+// (U, V) and distinct. Under that precondition every row comes out sorted
+// without a per-row sort: row x first receives its smaller neighbors (as the
+// V side of edges with V == x, whose U ascend), then its larger neighbors (as
+// the U side of edges with U == x, whose V ascend).
+func newCSR(n int, edges []Edge) *Graph {
+	guardHalfEdges(2 * len(edges))
+	off := make([]int32, n+1)
+	for _, e := range edges {
+		off[e.U+1]++
+		off[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	arena := make([]NodeID, 2*len(edges))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, e := range edges {
+		arena[cur[e.U]] = e.V
+		cur[e.U]++
+		arena[cur[e.V]] = e.U
+		cur[e.V]++
+	}
+	return &Graph{n: n, m: len(edges), off: off, arena: arena}
+}
+
+// guardHalfEdges panics when a half-edge count would overflow the int32
+// offset arrays (2m must stay below 2^31).
+func guardHalfEdges(half int) {
+	if half > (1<<31)-1 {
+		panic(fmt.Sprintf("graph: %d half-edges exceed the int32 CSR offset range", half))
+	}
+}
+
+// sortDedupEdges canonically sorts the edge list in place and removes
+// duplicates, returning the shortened slice.
+func sortDedupEdges(edges []Edge) []Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Builder accumulates edges with online duplicate detection and produces an
+// immutable Graph. Use BuilderCSR when duplicates are impossible or may be
+// resolved at Build time: it avoids the per-edge hash-set cost.
 type Builder struct {
 	n     int
 	edges map[Edge]struct{}
@@ -75,30 +149,59 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 
 // Build produces the immutable Graph. The Builder may be reused afterwards.
 func (b *Builder) Build() *Graph {
-	degs := make([]int, b.n)
+	edges := make([]Edge, 0, len(b.edges))
 	for e := range b.edges {
-		degs[e.U]++
-		degs[e.V]++
+		edges = append(edges, e)
 	}
-	adj := make([][]NodeID, b.n)
-	for i, d := range degs {
-		adj[i] = make([]NodeID, 0, d)
-	}
-	for e := range b.edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
-	}
-	for i := range adj {
-		sort.Slice(adj[i], func(a, c int) bool { return adj[i][a] < adj[i][c] })
-	}
-	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+	return newCSR(b.n, sortDedupEdges(edges))
 }
 
-// FromEdges constructs a Graph on n vertices from an edge list.
+// BuilderCSR is the streaming construction path: edges append to a flat list
+// (no per-edge hash-set entries) and are sorted and deduplicated once at
+// Build. Peak memory is 8 bytes per added edge plus the final CSR arrays,
+// which is what makes 10^6-vertex random graphs constructible.
+type BuilderCSR struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilderCSR returns a streaming builder for a graph on n vertices,
+// preallocating room for capacityHint edges (0 is fine).
+func NewBuilderCSR(n, capacityHint int) *BuilderCSR {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	return &BuilderCSR{n: n, edges: make([]Edge, 0, capacityHint)}
+}
+
+// Add records the undirected edge (u, v). Self-loops and out-of-range
+// endpoints are rejected (returning false); duplicates are accepted here and
+// removed at Build.
+func (b *BuilderCSR) Add(u, v NodeID) bool {
+	if u == v || int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
+		return false
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v}.Canonical())
+	return true
+}
+
+// NumAdded returns the number of accepted Add calls (duplicates included).
+func (b *BuilderCSR) NumAdded() int { return len(b.edges) }
+
+// Build sorts, deduplicates, and produces the immutable Graph. The builder's
+// edge storage is consumed; the builder must not be reused.
+func (b *BuilderCSR) Build() *Graph {
+	g := newCSR(b.n, sortDedupEdges(b.edges))
+	b.edges = nil
+	return g
+}
+
+// FromEdges constructs a Graph on n vertices from an edge list. Self-loops,
+// out-of-range endpoints, and duplicates are dropped.
 func FromEdges(n int, edges []Edge) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCSR(n, len(edges))
 	for _, e := range edges {
-		b.AddEdge(e.U, e.V)
+		b.Add(e.U, e.V)
 	}
 	return b.Build()
 }
@@ -110,18 +213,18 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.off[v+1] - g.off[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v. The returned slice is a
+// view into the graph's arena and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.arena[g.off[v]:g.off[v+1]] }
 
-// HasEdge reports whether (u, v) is an edge, by binary search.
+// HasEdge reports whether (u, v) is an edge, by binary search over u's row.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	if u == v || int(u) >= g.n || int(v) >= g.n || u < 0 || v < 0 {
 		return false
 	}
-	list := g.adj[u]
+	list := g.arena[g.off[u]:g.off[u+1]]
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
 	return i < len(list) && list[i] == v
 }
@@ -130,7 +233,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
 				out = append(out, Edge{U: NodeID(u), V: v})
 			}
@@ -144,10 +247,10 @@ func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
 	}
-	min := len(g.adj[0])
-	for _, a := range g.adj[1:] {
-		if len(a) < min {
-			min = len(a)
+	min := g.Degree(0)
+	for v := 1; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d < min {
+			min = d
 		}
 	}
 	return min
@@ -156,9 +259,9 @@ func (g *Graph) MinDegree() int {
 // MaxDegree returns the maximum degree.
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
 		}
 	}
 	return max
@@ -185,21 +288,45 @@ func (g *Graph) InducedSubgraph(vertices []NodeID) (*Graph, []NodeID) {
 	orig := make([]NodeID, len(vertices))
 	copy(orig, vertices)
 	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
-	// Deduplicate.
 	orig = dedupe(orig)
-	toNew := make(map[NodeID]NodeID, len(orig))
-	for i, v := range orig {
-		toNew[v] = NodeID(i)
+
+	// Membership lookup: a dense table when the class is a sizable fraction
+	// of the graph (partition classes), a map for small ad-hoc sets.
+	var lookup func(NodeID) (NodeID, bool)
+	if 64*len(orig) >= g.n {
+		dense := make([]int32, g.n)
+		for i := range dense {
+			dense[i] = -1
+		}
+		for i, v := range orig {
+			dense[v] = int32(i)
+		}
+		lookup = func(v NodeID) (NodeID, bool) {
+			i := dense[v]
+			return NodeID(i), i >= 0
+		}
+	} else {
+		toNew := make(map[NodeID]NodeID, len(orig))
+		for i, v := range orig {
+			toNew[v] = NodeID(i)
+		}
+		lookup = func(v NodeID) (NodeID, bool) {
+			i, ok := toNew[v]
+			return i, ok
+		}
 	}
-	b := NewBuilder(len(orig))
+
+	// Because orig is ascending and neighbor rows are sorted, edges are
+	// generated in sorted canonical order and feed newCSR directly.
+	var edges []Edge
 	for i, v := range orig {
-		for _, w := range g.adj[v] {
-			if nw, ok := toNew[w]; ok && NodeID(i) < nw {
-				b.AddEdge(NodeID(i), nw)
+		for _, w := range g.Neighbors(v) {
+			if nw, ok := lookup(w); ok && NodeID(i) < nw {
+				edges = append(edges, Edge{U: NodeID(i), V: nw})
 			}
 		}
 	}
-	return b.Build(), orig
+	return newCSR(len(orig), edges), orig
 }
 
 func dedupe(s []NodeID) []NodeID {

@@ -38,7 +38,7 @@ func (g *Graph) BFS(src NodeID) *BFSResult {
 		if res.Dist[v] > res.Ecc {
 			res.Ecc = res.Dist[v]
 		}
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if res.Dist[w] < 0 {
 				res.Dist[w] = res.Dist[v] + 1
 				res.Parent[w] = v

@@ -28,8 +28,10 @@ func Upcast(g *graph.Graph, seed uint64, samplesPerNode int) (*cycle.Cycle, Cost
 	if len(bfs.Order) != n {
 		return nil, cost, fmt.Errorf("%w: graph disconnected", ErrFailed)
 	}
-	// Samples per node and the sampled subgraph.
-	builder := graph.NewBuilder(n)
+	// Samples per node and the sampled subgraph. The streaming builder
+	// accepts the duplicate (v samples u, u samples v) adds and resolves
+	// them at Build.
+	builder := graph.NewBuilderCSR(n, n*samplesPerNode)
 	samples := make([]int, n)
 	for v := 0; v < n; v++ {
 		nbs := g.Neighbors(graph.NodeID(v))
@@ -37,12 +39,12 @@ func Upcast(g *graph.Graph, seed uint64, samplesPerNode int) (*cycle.Cycle, Cost
 		if k >= len(nbs) {
 			k = len(nbs)
 			for _, nb := range nbs {
-				builder.AddEdge(graph.NodeID(v), nb)
+				builder.Add(graph.NodeID(v), nb)
 			}
 		} else {
 			perm := src.Perm(len(nbs))
 			for _, i := range perm[:k] {
-				builder.AddEdge(graph.NodeID(v), nbs[i])
+				builder.Add(graph.NodeID(v), nbs[i])
 			}
 		}
 		samples[v] = k

@@ -6,13 +6,22 @@
 // slow beyond n ≈ a few thousand, while the theorems are about asymptotic
 // shape: stepsim reproduces the round/step counts for n up to 10^6 in
 // seconds. Agreement with the exact engine on overlapping sizes is checked
-// by crosscheck tests.
+// by crosscheck tests (see crosscheck_test.go at the repository root).
+//
+// Phase 1 of DHC1/DHC2 — one independent DRA run per color class — is
+// embarrassingly parallel, and Options.Workers shards it across a bounded
+// worker pool. The sharded engine follows the same deterministic-merge
+// discipline as internal/congest's parallel executor: every partition draws
+// from a private RNG stream split off the run seed, and results are merged
+// in partition-id order, so any Workers value (including 0 and 1) produces
+// byte-identical cycles and costs.
 package stepsim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
@@ -23,6 +32,27 @@ import (
 // ErrFailed is returned when a simulated run fails to build a Hamiltonian
 // cycle.
 var ErrFailed = errors.New("stepsim: run failed")
+
+// Options configures the DHC simulations.
+type Options struct {
+	// NumColors overrides the partition count K (0 derives it from n and,
+	// for DHC2, Delta).
+	NumColors int
+	// Delta is DHC2's sparsity exponent (0 < δ ≤ 1); ignored by DHC1.
+	Delta float64
+	// MaxAttempts bounds restart retries (0 = 6).
+	MaxAttempts int
+	// Workers bounds the phase-1 worker pool; values <= 1 run partitions
+	// sequentially. Results are identical for every value.
+	Workers int
+}
+
+func (o Options) attempts() int {
+	if o.MaxAttempts < 1 {
+		return 6
+	}
+	return o.MaxAttempts
+}
 
 // Cost is the round/step accounting of a simulated run.
 type Cost struct {
@@ -92,9 +122,9 @@ func partition(n, k int, src *rng.Source) [][]graph.NodeID {
 	return classes
 }
 
-// phase1Result carries one partition's subcycle in original vertex ids.
+// phase1Result carries per-partition subcycles in original vertex ids.
 type phase1Result struct {
-	cycles []*cycle.Cycle // per color, nil on failure
+	cycles []*cycle.Cycle // per color
 	// maxRounds is the slowest partition's DRA cost (they run in parallel).
 	maxRounds int64
 	steps     int64
@@ -103,15 +133,57 @@ type phase1Result struct {
 	scopeB    int64 // max partition broadcast bound
 }
 
+// partOutcome is one partition's fully independent result, produced by
+// solvePartition from the partition's private RNG stream. Outcomes are
+// merged in partition-id order, never in completion order.
+type partOutcome struct {
+	cyc      *cycle.Cycle
+	steps    int64
+	rounds   int64
+	restarts int64
+	b        int64
+	err      error
+}
+
+// solvePartition runs DRA (with restarts) on the subgraph induced by class,
+// drawing all randomness from the partition's private stream.
+func solvePartition(g *graph.Graph, c int, class []graph.NodeID, src *rng.Source, maxAttempts int) partOutcome {
+	out := partOutcome{b: 1}
+	if len(class) < 3 {
+		out.err = fmt.Errorf("%w: partition %d has %d nodes", ErrFailed, c, len(class))
+		return out
+	}
+	sub, orig := g.InducedSubgraph(class)
+	if !sub.Connected() {
+		out.err = fmt.Errorf("%w: partition %d disconnected", ErrFailed, c)
+		return out
+	}
+	out.b = broadcastBound(sub)
+	for a := 0; a < maxAttempts; a++ {
+		m := rotation.New(sub, graph.NodeID(src.Intn(sub.N())), src, rotation.Config{})
+		hc, st, err := m.Run()
+		out.steps += st.Steps
+		out.rounds += chargeRotationRounds(st, out.b)
+		if err == nil {
+			out.cyc = hc.Relabel(orig)
+			return out
+		}
+		out.restarts++
+		out.rounds += 2*out.b + 2
+	}
+	out.err = fmt.Errorf("%w: partition %d exhausted %d attempts", ErrFailed, c, maxAttempts)
+	return out
+}
+
 // runPhase1 builds per-partition Hamiltonian subcycles with restarts. A
 // coloring that produces an unusably small or disconnected partition is
 // redrawn entirely (the distributed analogue: a failure flood triggers a
 // global recolor), up to maxAttempts times.
-func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts int) (*phase1Result, error) {
+func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int) (*phase1Result, error) {
 	var err error
 	for a := 0; a < maxAttempts; a++ {
 		var res *phase1Result
-		res, err = runPhase1Once(g, k, src, maxAttempts)
+		res, err = runPhase1Once(g, k, src, maxAttempts, workers)
 		if err == nil {
 			return res, nil
 		}
@@ -119,46 +191,68 @@ func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts int) (*phase1
 	return nil, err
 }
 
-func runPhase1Once(g *graph.Graph, k int, src *rng.Source, maxAttempts int) (*phase1Result, error) {
+// runPhase1Once colors the graph from the main stream, then solves the K
+// color classes — sequentially or on a bounded worker pool. Each class only
+// ever touches its own split stream and its own outcome slot, and outcomes
+// are folded in partition-id order, so the result is a pure function of the
+// seed for every workers value.
+func runPhase1Once(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int) (*phase1Result, error) {
 	classes := partition(g.N(), k, src)
+	streams := make([]*rng.Source, k)
+	for c := 0; c < k; c++ {
+		streams[c] = src.Split(uint64(c) + 1)
+	}
+	outs := make([]partOutcome, k)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for c := 0; c < k; c++ {
+			outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
+			if outs[c].err != nil {
+				// The id-order merge below stops at the first error anyway,
+				// so skipping the remaining partitions changes nothing.
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range work {
+					outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
+				}
+			}()
+		}
+		for c := 0; c < k; c++ {
+			work <- c
+		}
+		close(work)
+		wg.Wait()
+	}
+
 	res := &phase1Result{
 		cycles: make([]*cycle.Cycle, k),
 		sizes:  make([]int, k),
 		scopeB: 1,
 	}
-	for c, class := range classes {
-		res.sizes[c] = len(class)
-		if len(class) < 3 {
-			return nil, fmt.Errorf("%w: partition %d has %d nodes", ErrFailed, c, len(class))
+	for c := 0; c < k; c++ {
+		out := outs[c]
+		if out.err != nil {
+			return nil, out.err
 		}
-		sub, orig := g.InducedSubgraph(class)
-		if !sub.Connected() {
-			return nil, fmt.Errorf("%w: partition %d disconnected", ErrFailed, c)
+		res.cycles[c] = out.cyc
+		res.sizes[c] = len(classes[c])
+		res.steps += out.steps
+		res.restarts += out.restarts
+		if out.rounds > res.maxRounds {
+			res.maxRounds = out.rounds
 		}
-		b := broadcastBound(sub)
-		if b > res.scopeB {
-			res.scopeB = b
-		}
-		var rounds int64
-		var got *cycle.Cycle
-		for a := 0; a < maxAttempts; a++ {
-			m := rotation.New(sub, graph.NodeID(src.Intn(sub.N())), src, rotation.Config{})
-			hc, st, err := m.Run()
-			res.steps += st.Steps
-			rounds += chargeRotationRounds(st, b)
-			if err == nil {
-				got = hc.Relabel(orig)
-				break
-			}
-			res.restarts++
-			rounds += 2*b + 2
-		}
-		if got == nil {
-			return nil, fmt.Errorf("%w: partition %d exhausted %d attempts", ErrFailed, c, maxAttempts)
-		}
-		res.cycles[c] = got
-		if rounds > res.maxRounds {
-			res.maxRounds = rounds
+		if out.b > res.scopeB {
+			res.scopeB = out.b
 		}
 	}
 	return res, nil
@@ -171,8 +265,9 @@ func scaffolding(b int64) int64 { return 4*b + 8 + 2*b + 2 }
 
 // DHC1 simulates Algorithm 2: Phase 1 partitioning plus the hypernode
 // rotation of Phase 2 (with port orientations; see internal/core/hyper.go).
-func DHC1(g *graph.Graph, seed uint64, numColors int, maxAttempts int) (*cycle.Cycle, Cost, error) {
+func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
 	n := g.N()
+	numColors := opts.NumColors
 	if numColors <= 0 {
 		numColors = int(math.Round(math.Sqrt(float64(n))))
 	}
@@ -183,10 +278,8 @@ func DHC1(g *graph.Graph, seed uint64, numColors int, maxAttempts int) (*cycle.C
 		numColors = 1
 	}
 	src := rng.New(seed)
-	if maxAttempts < 1 {
-		maxAttempts = 6
-	}
-	p1, err := runPhase1(g, numColors, src, maxAttempts)
+	maxAttempts := opts.attempts()
+	p1, err := runPhase1(g, numColors, src, maxAttempts, opts.Workers)
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -235,13 +328,14 @@ func DHC1(g *graph.Graph, seed uint64, numColors int, maxAttempts int) (*cycle.C
 
 // DHC2 simulates Algorithm 3: Phase 1 partitioning plus ⌈log₂ K⌉ parallel
 // pairwise merge levels.
-func DHC2(g *graph.Graph, seed uint64, delta float64, numColors int, maxAttempts int) (*cycle.Cycle, Cost, error) {
+func DHC2(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
 	n := g.N()
+	numColors := opts.NumColors
 	if numColors <= 0 {
-		if delta <= 0 || delta > 1 {
-			return nil, Cost{}, fmt.Errorf("stepsim: delta %v outside (0, 1]", delta)
+		if opts.Delta <= 0 || opts.Delta > 1 {
+			return nil, Cost{}, fmt.Errorf("stepsim: delta %v outside (0, 1]", opts.Delta)
 		}
-		numColors = int(math.Round(math.Pow(float64(n), 1-delta)))
+		numColors = int(math.Round(math.Pow(float64(n), 1-opts.Delta)))
 	}
 	if numColors > n/3 {
 		numColors = n / 3
@@ -250,10 +344,8 @@ func DHC2(g *graph.Graph, seed uint64, delta float64, numColors int, maxAttempts
 		numColors = 1
 	}
 	src := rng.New(seed)
-	if maxAttempts < 1 {
-		maxAttempts = 6
-	}
-	p1, err := runPhase1(g, numColors, src, maxAttempts)
+	maxAttempts := opts.attempts()
+	p1, err := runPhase1(g, numColors, src, maxAttempts, opts.Workers)
 	if err != nil {
 		return nil, Cost{}, err
 	}

@@ -30,7 +30,7 @@ func TestDRASim(t *testing.T) {
 
 func TestDHC1Sim(t *testing.T) {
 	g := denseGNP(600, 0.7, 3)
-	hc, cost, err := DHC1(g, 4, 0, 6)
+	hc, cost, err := DHC1(g, 4, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestDHC1Sim(t *testing.T) {
 
 func TestDHC2Sim(t *testing.T) {
 	g := denseGNP(800, 0.5, 5)
-	hc, cost, err := DHC2(g, 6, 0, 20, 6)
+	hc, cost, err := DHC2(g, 6, Options{NumColors: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestDHC2SimWithDelta(t *testing.T) {
 	n := 1000
 	p := graph.HCThresholdP(n, 16, 0.5)
 	g := denseGNP(n, p, 7)
-	hc, _, err := DHC2(g, 8, 0.5, 0, 6)
+	hc, _, err := DHC2(g, 8, Options{Delta: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestDHC2DenserIsFaster(t *testing.T) {
 	for seed := uint64(0); seed < 2; seed++ {
 		gDense := denseGNP(n, graph.HCThresholdP(n, 20, 0.3), 100+seed)
 		gSparse := denseGNP(n, graph.HCThresholdP(n, 20, 0.6), 200+seed)
-		_, cd, err := DHC2(gDense, seed, 0.3, 0, 6)
+		_, cd, err := DHC2(gDense, seed, Options{Delta: 0.3})
 		if err != nil {
 			t.Fatalf("dense seed %d: %v", seed, err)
 		}
-		_, cs, err := DHC2(gSparse, seed, 0.6, 0, 6)
+		_, cs, err := DHC2(gSparse, seed, Options{Delta: 0.6})
 		if err != nil {
 			t.Fatalf("sparse seed %d: %v", seed, err)
 		}
@@ -142,5 +142,31 @@ func TestDHC2DenserIsFaster(t *testing.T) {
 	}
 	if fast >= slow {
 		t.Fatalf("denser graph not faster: delta=0.3 %d rounds vs delta=0.6 %d", fast, slow)
+	}
+}
+
+func TestDHCWorkerEdgeCases(t *testing.T) {
+	g := denseGNP(60, 0.9, 1)
+	// More workers than partitions, and the degenerate K=1 shortcut, must
+	// behave exactly like the sequential path.
+	hc1, c1, err := DHC2(g, 1, Options{NumColors: 1, Workers: 8})
+	if err != nil {
+		t.Fatalf("K=1 workers=8: %v", err)
+	}
+	hc2, c2, err := DHC2(g, 1, Options{NumColors: 1})
+	if err != nil {
+		t.Fatalf("K=1 sequential: %v", err)
+	}
+	if c1 != c2 {
+		t.Fatalf("K=1 costs diverge: %+v vs %+v", c1, c2)
+	}
+	o1, o2 := hc1.Order(), hc2.Order()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("K=1 cycles diverge")
+		}
+	}
+	if _, _, err := DHC1(g, 2, Options{Workers: 16}); err != nil {
+		t.Fatalf("DHC1 workers=16 on n=60: %v", err)
 	}
 }
