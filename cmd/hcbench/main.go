@@ -2,19 +2,32 @@
 // per-experiment index and prints fitted scaling exponents. Its output is
 // the source of the measured columns in EXPERIMENTS.md.
 //
+// It is also the repository's benchmark pipeline: -json runs a
+// (algo × engine × n × workers) grid and writes a versioned machine-readable
+// report (the BENCH_<rev>.json trajectory files at the repository root), and
+// -validate checks such a report's schema and run health, which is what the
+// CI smoke job gates on.
+//
 // Usage:
 //
 //	hcbench                 # all experiments, default scale
 //	hcbench -only E2,E4     # a subset
 //	hcbench -scale 0.5 -trials 2
+//	hcbench -json BENCH_abc1234.json -rev abc1234 \
+//	    -algos dhc2 -engines step -sizes 100000,1000000 -workerGrid 1,8
+//	hcbench -validate BENCH_abc1234.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
+	"dhc"
 	"dhc/internal/bench"
 )
 
@@ -31,9 +44,35 @@ func run() error {
 		trials  = flag.Int("trials", 3, "trials per sweep point")
 		scale   = flag.Float64("scale", 1, "multiplier on the default n grids")
 		seed    = flag.Uint64("seed", 1, "base seed")
-		workers = flag.Int("workers", 1, "step-engine phase-1 worker pool size (identical results at any value)")
+		workers = flag.Int("workers", 1, "worker pool size for the experiment tables (identical results at any value)")
+
+		jsonOut    = flag.String("json", "", "benchmark pipeline: write a versioned JSON report to this path and exit")
+		validate   = flag.String("validate", "", "validate an existing JSON report (schema + no failed runs) and exit")
+		rev        = flag.String("rev", "dev", "revision label embedded in the JSON report")
+		algos      = flag.String("algos", "dhc2", "pipeline: comma-separated algorithms (dra,dhc1,dhc2,upcast)")
+		engines    = flag.String("engines", "step", "pipeline: comma-separated engines (step,exact)")
+		sizes      = flag.String("sizes", "4096,16384", "pipeline: comma-separated vertex counts")
+		workerGrid = flag.String("workerGrid", "1,8", "pipeline: comma-separated worker counts to measure each point at")
+		colors     = flag.Int("colors", 8, "pipeline: partition count K (0 = let the algorithm derive it)")
+		delta      = flag.Float64("delta", 1.0, "pipeline: density exponent of p = cmult*ln(n)/n^delta")
+		cmult      = flag.Float64("cmult", 32, "pipeline: density constant of p = cmult*ln(n)/n^delta")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		return runValidate(*validate)
+	}
+	if *jsonOut != "" {
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		if err != nil {
+			return err
+		}
+		return runJSON(jsonParams{
+			out: *jsonOut, rev: *rev, grid: grid,
+			trials: *trials, seed: *seed, colors: *colors,
+			delta: *delta, cmult: *cmult,
+		})
+	}
 
 	cfg := bench.Config{Trials: *trials, Scale: *scale, Seed: *seed, Workers: *workers}
 	runners := map[string]func(bench.Config) *bench.Table{
@@ -57,6 +96,213 @@ func run() error {
 		}
 		printFits(id, t)
 	}
+	return nil
+}
+
+// benchGrid is the cartesian sweep of the JSON pipeline.
+type benchGrid struct {
+	algos      []dhc.Algorithm
+	engines    []dhc.Engine
+	sizes      []int
+	workerGrid []int
+}
+
+type jsonParams struct {
+	out, rev     string
+	grid         benchGrid
+	trials       int
+	seed         uint64
+	colors       int
+	delta, cmult float64
+}
+
+func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
+	var g benchGrid
+	for _, s := range splitList(algos) {
+		a, err := dhc.ParseAlgorithm(s)
+		if err != nil {
+			return g, err
+		}
+		g.algos = append(g.algos, a)
+	}
+	for _, s := range splitList(engines) {
+		switch s {
+		case "step":
+			g.engines = append(g.engines, dhc.EngineStep)
+		case "exact":
+			g.engines = append(g.engines, dhc.EngineExact)
+		default:
+			return g, fmt.Errorf("unknown engine %q", s)
+		}
+	}
+	var err error
+	if g.sizes, err = parseInts(sizes); err != nil {
+		return g, fmt.Errorf("bad -sizes: %w", err)
+	}
+	if g.workerGrid, err = parseInts(workerGrid); err != nil {
+		return g, fmt.Errorf("bad -workerGrid: %w", err)
+	}
+	if len(g.algos) == 0 || len(g.engines) == 0 || len(g.sizes) == 0 || len(g.workerGrid) == 0 {
+		return g, fmt.Errorf("empty pipeline grid")
+	}
+	return g, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func engineName(e dhc.Engine) string {
+	if e == dhc.EngineExact {
+		return "exact"
+	}
+	return "step"
+}
+
+// runJSON executes the benchmark grid and writes the versioned report. Each
+// graph is generated once per (n, trial) and shared across the whole
+// algo × engine × workers sweep, so wall-clock differences within a point
+// measure the solver, not the generator.
+func runJSON(p jsonParams) error {
+	if p.trials < 1 {
+		p.trials = 1
+	}
+	rep := bench.NewReport(p.rev, runtime.Version(), runtime.NumCPU())
+	for _, n := range p.grid.sizes {
+		pr := dhc.ThresholdP(n, p.cmult, p.delta)
+		for trial := 0; trial < p.trials; trial++ {
+			graphSeed := p.seed + uint64(trial)*1000003 + uint64(n)
+			g := dhc.NewGNP(n, pr, graphSeed)
+			for _, algo := range p.grid.algos {
+				for _, engine := range p.grid.engines {
+					for _, workers := range p.grid.workerGrid {
+						rec := bench.Record{
+							Algo:      algo.String(),
+							Engine:    engineName(engine),
+							N:         n,
+							M:         int64(g.M()),
+							P:         pr,
+							Seed:      p.seed + uint64(trial),
+							GraphSeed: graphSeed,
+							NumColors: p.colors,
+							Workers:   workers,
+						}
+						start := time.Now()
+						res, err := dhc.Solve(g, algo, dhc.Options{
+							Seed:      rec.Seed,
+							Engine:    engine,
+							NumColors: p.colors,
+							Delta:     p.delta,
+							Workers:   workers,
+						})
+						rec.WallSeconds = time.Since(start).Seconds()
+						if err != nil {
+							rec.Error = err.Error()
+						} else {
+							rec.OK = true
+							rec.Rounds = res.Rounds
+							rec.Steps = res.Steps
+							rec.Phase1Rounds = res.Phase1Rounds
+							rec.Phase2Rounds = res.Phase2Rounds
+						}
+						rep.Append(rec)
+						fmt.Printf("%s/%s n=%d workers=%d trial=%d: wall=%.3fs ok=%v\n",
+							rec.Algo, rec.Engine, n, workers, trial, rec.WallSeconds, rec.OK)
+					}
+				}
+			}
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(p.out)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	printSpeedups(rep, p.grid)
+	fmt.Printf("wrote %s (%d records, schema v%d, host %d-cpu)\n",
+		p.out, len(rep.Records), rep.SchemaVersion, rep.NumCPU)
+	return nil
+}
+
+// printSpeedups summarizes worker scaling per series against the grid's
+// smallest worker count (whatever order the grid was given in).
+func printSpeedups(rep *bench.Report, grid benchGrid) {
+	if len(grid.workerGrid) < 2 {
+		return
+	}
+	base := grid.workerGrid[0]
+	for _, w := range grid.workerGrid {
+		if w < base {
+			base = w
+		}
+	}
+	for _, algo := range grid.algos {
+		for _, engine := range grid.engines {
+			for _, n := range grid.sizes {
+				for _, w := range grid.workerGrid {
+					if w == base {
+						continue
+					}
+					if s, ok := rep.Speedup(algo.String(), engineName(engine), n, base, w); ok {
+						fmt.Printf("speedup %s/%s n=%d: workers=%d vs %d -> %.2fx\n",
+							algo.String(), engineName(engine), n, w, base, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runValidate gates CI: non-zero exit on malformed schema or any failed run.
+func runValidate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.DecodeReport(data)
+	if err != nil {
+		return err
+	}
+	if failed := rep.FailedRecords(); len(failed) > 0 {
+		for _, i := range failed {
+			rec := rep.Records[i]
+			fmt.Fprintf(os.Stderr, "failed run %d: %s/%s n=%d workers=%d: %s\n",
+				i, rec.Algo, rec.Engine, rec.N, rec.Workers, rec.Error)
+		}
+		return fmt.Errorf("%d of %d runs failed", len(failed), len(rep.Records))
+	}
+	fmt.Printf("%s: schema v%d, rev %s, %d records, all ok\n",
+		path, rep.SchemaVersion, rep.Rev, len(rep.Records))
 	return nil
 }
 

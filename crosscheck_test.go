@@ -61,6 +61,48 @@ func TestCrosscheckEngines(t *testing.T) {
 	}
 }
 
+// TestCrosscheckPhase2Costs pins the phase-2 cost model against the exact
+// engine, per phase rather than in total: the step engine charges the merge
+// tree at levels·(2·scopeB+10) (DHC2) and the hypernode rotation at the
+// global broadcast bound (DHC1), while the exact engine measures its phase 2
+// round by round. The two must agree within the same documented slack as the
+// total-rounds crosscheck — the step engine prices broadcasts at the scope
+// bound where the exact engine pays the global one, a constant-factor gap,
+// and anything beyond the slack would mean the merge-tree accounting
+// diverged asymptotically.
+func TestCrosscheckPhase2Costs(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g := NewGNP(n, 0.8, uint64(n))
+		k := n / 16
+		for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+			t.Run(fmt.Sprintf("%s/n=%d", algo, n), func(t *testing.T) {
+				opts := Options{Seed: 7, NumColors: k}
+				exact, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("exact engine: %v", err)
+				}
+				opts.Engine = EngineStep
+				step, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("step engine: %v", err)
+				}
+				if exact.Phase2Rounds <= 0 || step.Phase2Rounds <= 0 {
+					t.Fatalf("missing phase-2 charge: exact=%d step=%d",
+						exact.Phase2Rounds, step.Phase2Rounds)
+				}
+				lo, hi := exact.Phase2Rounds, step.Phase2Rounds
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if hi > crossEngineRoundSlack*lo {
+					t.Fatalf("phase-2 accounting disagrees beyond %dx slack: exact=%d step=%d",
+						crossEngineRoundSlack, exact.Phase2Rounds, step.Phase2Rounds)
+				}
+			})
+		}
+	}
+}
+
 // TestCrosscheckPhaseAccounting pins the invariant both engines share: for
 // the two-phase algorithms the total equals the phase split.
 func TestCrosscheckPhaseAccounting(t *testing.T) {

@@ -3,8 +3,8 @@ package dhc
 // Determinism regression tests: same graph + same seed must yield a
 // byte-identical cycle and identical cost metrics for both engines, at every
 // Workers value. This pins the exact engine's parallel executor and the step
-// engine's sharded phase 1 to sequential behavior — the property both rely
-// on for reproducible experiments.
+// engine's sharded phase 1 AND parallel phase-2 merge tree to sequential
+// behavior — the property both rely on for reproducible experiments.
 
 import (
 	"fmt"
@@ -24,13 +24,17 @@ func fingerprint(res *Result) string {
 	return s
 }
 
-var workerGrid = []int{0, 1, 4}
+var workerGrid = []int{0, 1, 4, 8}
 
 func TestDeterminismAcrossWorkersStep(t *testing.T) {
+	// NumColors = 16 gives the DHC2 merge tree 4 levels (8, 4, 2, 1 pairs),
+	// exercising both the multi-pair parallel levels and the single-pair
+	// tail at every workers value.
 	g := NewGNP(400, 0.6, 11)
 	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
 		t.Run(algo.String(), func(t *testing.T) {
 			var want string
+			var wantP2 int64
 			for _, workers := range workerGrid {
 				for rep := 0; rep < 2; rep++ {
 					res, err := Solve(g, algo, Options{
@@ -42,11 +46,16 @@ func TestDeterminismAcrossWorkersStep(t *testing.T) {
 					got := fingerprint(res)
 					if want == "" {
 						want = got
+						wantP2 = res.Phase2Rounds
 						continue
 					}
 					if got != want {
 						t.Fatalf("workers=%d rep=%d diverged:\n got %s\nwant %s",
 							workers, rep, got, want)
+					}
+					if res.Phase2Rounds != wantP2 {
+						t.Fatalf("workers=%d rep=%d: Phase2Rounds %d, want %d",
+							workers, rep, res.Phase2Rounds, wantP2)
 					}
 				}
 			}
@@ -59,6 +68,7 @@ func TestDeterminismAcrossWorkersExact(t *testing.T) {
 	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
 		t.Run(algo.String(), func(t *testing.T) {
 			var want string
+			var wantP2 int64
 			for _, workers := range workerGrid {
 				res, err := Solve(g, algo, Options{
 					Seed: 5, NumColors: 8, Workers: workers,
@@ -69,10 +79,15 @@ func TestDeterminismAcrossWorkersExact(t *testing.T) {
 				got := fingerprint(res)
 				if want == "" {
 					want = got
+					wantP2 = res.Phase2Rounds
 					continue
 				}
 				if got != want {
 					t.Fatalf("workers=%d diverged:\n got %s\nwant %s", workers, got, want)
+				}
+				if res.Phase2Rounds != wantP2 {
+					t.Fatalf("workers=%d: Phase2Rounds %d, want %d",
+						workers, res.Phase2Rounds, wantP2)
 				}
 			}
 		})

@@ -133,9 +133,11 @@ type Options struct {
 	Delta float64
 	// NumColors overrides the partition count K for DHC1/DHC2.
 	NumColors int
-	// Workers bounds run parallelism: the exact engine's parallel executor
-	// and the step engine's sharded phase 1. Any value (0, 1, 4, ...)
-	// produces byte-identical results; only wall-clock changes.
+	// Workers bounds run parallelism in both phases of both engines: the
+	// exact engine's parallel executor (which drives phase 1 and the
+	// phase-2 merge levels alike) and the step engine's sharded phase 1
+	// plus parallel phase-2 merge tree. Any value (0, 1, 4, ...) produces
+	// byte-identical results; only wall-clock changes.
 	Workers int
 	// MaxAttempts bounds restart retries (step engine and partition DRA).
 	MaxAttempts int
@@ -180,6 +182,9 @@ func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 }
 
 func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	// The DHC algorithms own their executor sizing through their core
+	// options (the single source of truth for the knob); the single-phase
+	// algorithms take it via congest.Options directly.
 	netOpts := congest.Options{Workers: opts.Workers}
 	switch algo {
 	case AlgorithmDRA:
@@ -189,7 +194,10 @@ func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 		}
 		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Steps: r.Steps, Counters: r.Counters}, nil
 	case AlgorithmDHC1:
-		r, err := core.RunDHC1(g, opts.Seed, core.DHC1Options{NumColors: opts.NumColors}, netOpts)
+		r, err := core.RunDHC1(g, opts.Seed, core.DHC1Options{
+			NumColors: opts.NumColors,
+			Workers:   opts.Workers,
+		}, congest.Options{})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
@@ -198,7 +206,8 @@ func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 		r, err := core.RunDHC2(g, opts.Seed, core.DHC2Options{
 			Delta:     opts.Delta,
 			NumColors: opts.NumColors,
-		}, netOpts)
+			Workers:   opts.Workers,
+		}, congest.Options{})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
@@ -264,8 +273,31 @@ func fromCoreResult(r *core.Result) *Result {
 	}
 }
 
+// noCycleErrs lists every engine's genuine negative outcomes — the run
+// executed but terminated without a Hamiltonian cycle (including exhausting
+// its round budget, which on a valid input is the same verdict). Anything
+// outside this list is a usage problem — a Delta outside (0, 1], an invalid
+// partition count, a CONGEST bandwidth violation — and must NOT match
+// errors.Is(err, ErrNoHamiltonianCycle): retrying a config error with a new
+// seed would loop forever, and callers use the sentinel to decide exactly
+// that.
+var noCycleErrs = []error{
+	stepsim.ErrFailed,
+	core.ErrNoHC,
+	dra.ErrFailed,
+	upcast.ErrNoHC,
+	congest.ErrRoundLimit,
+}
+
+// wrapNoHC tags genuine no-cycle failures with ErrNoHamiltonianCycle and
+// passes every other error through unchanged.
 func wrapNoHC(err error) error {
-	return fmt.Errorf("%w: %v", ErrNoHamiltonianCycle, err)
+	for _, sentinel := range noCycleErrs {
+		if errors.Is(err, sentinel) {
+			return fmt.Errorf("%w: %v", ErrNoHamiltonianCycle, err)
+		}
+	}
+	return err
 }
 
 // Verify checks that c is a Hamiltonian cycle of g.

@@ -46,6 +46,75 @@ func TestSolveFailsBelowThreshold(t *testing.T) {
 	}
 }
 
+// TestNoCycleSentinelOnGenuineFailures pins the positive half of the
+// wrapNoHC contract: a structurally non-Hamiltonian input must surface as
+// ErrNoHamiltonianCycle on every engine and algorithm that can reach the
+// run stage.
+func TestNoCycleSentinelOnGenuineFailures(t *testing.T) {
+	// 60 vertices with 40 edges cannot be Hamiltonian (a HC needs n edges),
+	// and the graph is disconnected besides.
+	g := NewGNM(60, 40, 7)
+	cases := []struct {
+		name string
+		algo Algorithm
+		opts Options
+	}{
+		{"dra/step", AlgorithmDRA, Options{Seed: 1, Engine: EngineStep}},
+		{"dra/exact", AlgorithmDRA, Options{Seed: 1}},
+		{"dhc2/step", AlgorithmDHC2, Options{Seed: 1, Engine: EngineStep, NumColors: 4}},
+		{"dhc2/exact", AlgorithmDHC2, Options{Seed: 1, NumColors: 4}},
+		{"dhc1/step", AlgorithmDHC1, Options{Seed: 1, Engine: EngineStep, NumColors: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Solve(g, tc.algo, tc.opts)
+			if err == nil {
+				t.Fatal("impossible instance solved")
+			}
+			if !errors.Is(err, ErrNoHamiltonianCycle) {
+				t.Fatalf("genuine failure not tagged ErrNoHamiltonianCycle: %v", err)
+			}
+		})
+	}
+}
+
+// TestConfigErrorsAreNotNoCycle pins the negative half: configuration
+// mistakes must NOT match ErrNoHamiltonianCycle — callers use the sentinel
+// to decide whether retrying with a fresh seed makes sense, and a bad Delta
+// or partition count never stops failing.
+func TestConfigErrorsAreNotNoCycle(t *testing.T) {
+	g := NewGNP(64, 0.8, 3)
+	cases := []struct {
+		name string
+		algo Algorithm
+		opts Options
+	}{
+		{"dhc2/step/delta-too-big", AlgorithmDHC2, Options{Seed: 1, Engine: EngineStep, Delta: 2.5}},
+		{"dhc2/step/delta-zero", AlgorithmDHC2, Options{Seed: 1, Engine: EngineStep}},
+		{"dhc2/exact/delta-too-big", AlgorithmDHC2, Options{Seed: 1, Delta: 2.5}},
+		{"dhc2/exact/delta-zero", AlgorithmDHC2, Options{Seed: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Solve(g, tc.algo, tc.opts)
+			if err == nil {
+				t.Fatal("bad configuration accepted")
+			}
+			if errors.Is(err, ErrNoHamiltonianCycle) {
+				t.Fatalf("config error wrongly tagged ErrNoHamiltonianCycle: %v", err)
+			}
+		})
+	}
+	if _, err := Solve(g, Algorithm(99), Options{Seed: 1}); err == nil ||
+		errors.Is(err, ErrNoHamiltonianCycle) {
+		t.Fatalf("unknown algorithm: got %v, want plain error", err)
+	}
+	if _, err := Solve(g, AlgorithmDRA, Options{Seed: 1, Engine: Engine(9)}); err == nil ||
+		errors.Is(err, ErrNoHamiltonianCycle) {
+		t.Fatalf("unknown engine: got %v, want plain error", err)
+	}
+}
+
 func TestParseAlgorithm(t *testing.T) {
 	for _, name := range []string{"dra", "dhc1", "dhc2", "upcast"} {
 		a, err := ParseAlgorithm(name)

@@ -1,0 +1,177 @@
+package bench
+
+// Versioned machine-readable benchmark reports. Every PR that touches a hot
+// path records a BENCH_<rev>.json at the repository root via
+// `hcbench -json`, so the perf trajectory of the codebase is comparable
+// across revisions without re-running old binaries. The schema is
+// intentionally flat: one Record per (algo, engine, n, workers, seed) run,
+// wrapped in a Report that pins the schema version and the host shape the
+// numbers were measured on.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the BENCH_<rev>.json layout. Bump it when a field
+// changes meaning or disappears; pure additions are backward compatible and
+// do not require a bump.
+const SchemaVersion = 1
+
+// Record is one measured run.
+type Record struct {
+	// Algo is the short algorithm name ("dra", "dhc1", "dhc2", "upcast").
+	Algo string `json:"algo"`
+	// Engine is "exact" or "step".
+	Engine string `json:"engine"`
+	// N and M are the instance's vertex and edge counts; P its density.
+	N int     `json:"n"`
+	M int64   `json:"m"`
+	P float64 `json:"p"`
+	// Seed is the Solve seed; GraphSeed the generator seed.
+	Seed      uint64 `json:"seed"`
+	GraphSeed uint64 `json:"graph_seed"`
+	// NumColors is the partition count K passed to the run (0 = derived).
+	NumColors int `json:"num_colors,omitempty"`
+	// Workers is the worker-pool bound the run was measured at.
+	Workers int `json:"workers"`
+	// WallSeconds is the Solve call's wall-clock time (graph generation
+	// excluded — graphs are built once and shared across the worker grid).
+	WallSeconds float64 `json:"wall_seconds"`
+	// Rounds/Steps and the phase split are the run's charged or measured
+	// costs, byte-identical across Workers values by the determinism
+	// contract (see determinism_test.go).
+	Rounds       int64 `json:"rounds"`
+	Steps        int64 `json:"steps"`
+	Phase1Rounds int64 `json:"phase1_rounds"`
+	Phase2Rounds int64 `json:"phase2_rounds"`
+	// OK is false when the run errored; Error then holds the message.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// Report is the top-level BENCH_<rev>.json document.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+	// Rev labels the source revision the binary was built from.
+	Rev string `json:"rev"`
+	// GoVersion and NumCPU pin the host shape: wall-clock comparisons
+	// (notably worker scaling) are only meaningful at NumCPU > 1.
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Records   []Record `json:"records"`
+}
+
+// NewReport creates an empty report for the given revision label and host.
+func NewReport(rev, goVersion string, numCPU int) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Rev:           rev,
+		GoVersion:     goVersion,
+		NumCPU:        numCPU,
+	}
+}
+
+// Append adds a record.
+func (r *Report) Append(rec Record) { r.Records = append(r.Records, rec) }
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport parses and validates a BENCH_*.json document. Unknown fields
+// are rejected so schema drift fails loudly instead of silently dropping
+// data.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: malformed report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks structural invariants: known schema version, non-empty
+// identity fields, coherent costs. It does NOT fail on OK=false records —
+// a report may legitimately document failures; use FailedRecords for CI
+// gating.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("bench: unsupported schema version %d (want %d)", r.SchemaVersion, SchemaVersion)
+	}
+	if r.Rev == "" {
+		return fmt.Errorf("bench: report missing rev")
+	}
+	if len(r.Records) == 0 {
+		return fmt.Errorf("bench: report has no records")
+	}
+	for i, rec := range r.Records {
+		if rec.Algo == "" {
+			return fmt.Errorf("bench: record %d missing algo", i)
+		}
+		if rec.Engine != "exact" && rec.Engine != "step" {
+			return fmt.Errorf("bench: record %d has unknown engine %q", i, rec.Engine)
+		}
+		if rec.N <= 0 {
+			return fmt.Errorf("bench: record %d has n = %d", i, rec.N)
+		}
+		if rec.Workers < 0 {
+			return fmt.Errorf("bench: record %d has workers = %d", i, rec.Workers)
+		}
+		if rec.WallSeconds < 0 {
+			return fmt.Errorf("bench: record %d has negative wall time", i)
+		}
+		if rec.OK && rec.Error != "" {
+			return fmt.Errorf("bench: record %d is ok but carries error %q", i, rec.Error)
+		}
+		if rec.OK && rec.Rounds <= 0 {
+			return fmt.Errorf("bench: record %d succeeded with no rounds charged", i)
+		}
+		if !rec.OK && rec.Error == "" {
+			return fmt.Errorf("bench: record %d failed without an error message", i)
+		}
+	}
+	return nil
+}
+
+// FailedRecords returns the indices of records with OK=false, for callers
+// (the CI smoke job) that treat any failed run as fatal.
+func (r *Report) FailedRecords() []int {
+	var out []int
+	for i, rec := range r.Records {
+		if !rec.OK {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Speedup returns wall-clock ratio base/test between the first records
+// matching (algo, engine, n) at the two worker counts, and false when either
+// side is missing or failed. It is the accessor the perf trajectory is read
+// through: Speedup(..., 1, 8) > 1 means workers=8 beat workers=1.
+func (r *Report) Speedup(algo, engine string, n, baseWorkers, testWorkers int) (float64, bool) {
+	find := func(workers int) (Record, bool) {
+		for _, rec := range r.Records {
+			if rec.Algo == algo && rec.Engine == engine && rec.N == n && rec.Workers == workers && rec.OK {
+				return rec, true
+			}
+		}
+		return Record{}, false
+	}
+	base, ok1 := find(baseWorkers)
+	test, ok2 := find(testWorkers)
+	if !ok1 || !ok2 || test.WallSeconds <= 0 {
+		return 0, false
+	}
+	return base.WallSeconds / test.WallSeconds, true
+}

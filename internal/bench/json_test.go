@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport("test-rev", "go1.x", 4)
+	r.Append(Record{
+		Algo: "dhc2", Engine: "step", N: 512, M: 4000, P: 0.1,
+		Seed: 2, GraphSeed: 1, NumColors: 8, Workers: 1,
+		WallSeconds: 0.25, Rounds: 900, Steps: 4000,
+		Phase1Rounds: 700, Phase2Rounds: 200, OK: true,
+	})
+	r.Append(Record{
+		Algo: "dhc2", Engine: "step", N: 512, M: 4000, P: 0.1,
+		Seed: 2, GraphSeed: 1, NumColors: 8, Workers: 8,
+		WallSeconds: 0.05, Rounds: 900, Steps: 4000,
+		Phase1Rounds: 700, Phase2Rounds: 200, OK: true,
+	})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Rev != "test-rev" || len(got.Records) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Records[1].Workers != 8 || got.Records[1].Rounds != 900 {
+		t.Fatalf("record mangled: %+v", got.Records[1])
+	}
+}
+
+func TestReportSpeedup(t *testing.T) {
+	r := sampleReport()
+	s, ok := r.Speedup("dhc2", "step", 512, 1, 8)
+	if !ok || s < 4.9 || s > 5.1 {
+		t.Fatalf("speedup = %v ok=%v, want 5.0", s, ok)
+	}
+	if _, ok := r.Speedup("dhc1", "step", 512, 1, 8); ok {
+		t.Fatal("speedup found for absent series")
+	}
+}
+
+func TestReportValidationRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		substr string
+	}{
+		{"bad-version", func(r *Report) { r.SchemaVersion = 99 }, "schema version"},
+		{"no-rev", func(r *Report) { r.Rev = "" }, "missing rev"},
+		{"no-records", func(r *Report) { r.Records = nil }, "no records"},
+		{"bad-engine", func(r *Report) { r.Records[0].Engine = "warp" }, "unknown engine"},
+		{"bad-n", func(r *Report) { r.Records[0].N = 0 }, "has n"},
+		{"ok-with-error", func(r *Report) { r.Records[0].Error = "boom" }, "carries error"},
+		{"ok-no-rounds", func(r *Report) { r.Records[0].Rounds = 0 }, "no rounds"},
+		{"fail-no-message", func(r *Report) { r.Records[0].OK = false; r.Records[0].Error = "" }, "without an error"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sampleReport()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestDecodeReportRejectsMalformed(t *testing.T) {
+	if _, err := DecodeReport([]byte(`{"schema_version": 1,`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := DecodeReport([]byte(`{"schema_version": 1, "rev": "x", "bogus_field": true, "records": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestFailedRecords(t *testing.T) {
+	r := sampleReport()
+	r.Append(Record{Algo: "dra", Engine: "step", N: 64, Workers: 1, OK: false, Error: "no cycle"})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FailedRecords(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("FailedRecords = %v, want [2]", got)
+	}
+}

@@ -111,6 +111,17 @@ func (c *Context) Send(to graph.NodeID, m wire.Message) {
 // The run ends when every node has halted.
 func (c *Context) Halt() { c.halted = true }
 
+// reset prepares a persistent context for this round's Init/Round call,
+// keeping the outbox's backing array.
+func (c *Context) reset(round int64) {
+	c.round = round
+	c.outbox = c.outbox[:0]
+	c.halted = false
+	c.err = nil
+	c.memWords = 0
+	c.workOps = 0
+}
+
 // ObserveMemory reports the node's current retained state size in words; the
 // simulator keeps the high-water mark per node.
 func (c *Context) ObserveMemory(words int64) {
@@ -180,9 +191,11 @@ func (n *Network) Run(seed uint64) (*metrics.Counters, error) {
 		halted:  make([]bool, numNodes),
 		rngs:    make([]*rng.Source, numNodes),
 		inboxes: make([][]Envelope, numNodes),
+		ctxs:    make([]*Context, numNodes),
 	}
 	for v := 0; v < numNodes; v++ {
 		state.rngs[v] = root.Split(uint64(v))
+		state.ctxs[v] = &Context{net: n, id: graph.NodeID(v), rng: state.rngs[v]}
 	}
 
 	exec := newExecutor(n, state, counters)
@@ -209,6 +222,13 @@ type runState struct {
 	halted  []bool
 	rngs    []*rng.Source
 	inboxes [][]Envelope
+	// ctxs are the persistent per-node contexts: each is reset and reused
+	// every round so outbox capacity survives, keeping the per-round
+	// allocation count independent of n. A Context is documented as valid
+	// only during the Init/Round call, which is what makes reuse safe.
+	ctxs []*Context
+	// out is the reused node-id-ordered outbox concatenation buffer.
+	out []routedMsg
 }
 
 func (s *runState) allHalted() bool {

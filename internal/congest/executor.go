@@ -3,14 +3,15 @@ package congest
 import (
 	"sync"
 
-	"dhc/internal/graph"
 	"dhc/internal/metrics"
 )
 
 // executor advances all live nodes by one round, either sequentially or with
 // a worker pool. Both produce identical executions: nodes use private RNG
 // streams, outboxes are concatenated in node-id order, and metric merging is
-// order-insensitive.
+// order-insensitive. Contexts and the concatenation buffer live in runState
+// and are reused round over round, so a round's allocations are bounded by
+// the messages it delivers, not by n.
 type executor struct {
 	net      *Network
 	state    *runState
@@ -25,18 +26,13 @@ func newExecutor(net *Network, state *runState, counters *metrics.Counters) *exe
 // live node, merges metrics, and delivers outboxes.
 func (e *executor) step(round int64, isInit bool) error {
 	n := e.net.g.N()
-	ctxs := make([]*Context, n)
 
 	invoke := func(v int) {
 		if e.state.halted[v] {
 			return
 		}
-		ctx := &Context{
-			net:   e.net,
-			id:    graph.NodeID(v),
-			round: round,
-			rng:   e.state.rngs[v],
-		}
+		ctx := e.state.ctxs[v]
+		ctx.reset(round)
 		if isInit {
 			e.net.nodes[v].Init(ctx)
 		} else {
@@ -44,7 +40,6 @@ func (e *executor) step(round int64, isInit bool) error {
 			e.state.inboxes[v] = nil
 			e.net.nodes[v].Round(ctx, inbox)
 		}
-		ctxs[v] = ctx
 	}
 
 	if e.net.opts.Workers <= 1 {
@@ -71,13 +66,15 @@ func (e *executor) step(round int64, isInit bool) error {
 	}
 
 	// Merge results in node-id order (single-threaded) so outbox
-	// concatenation and error selection are deterministic.
-	var out []routedMsg
+	// concatenation and error selection are deterministic. halted[v] is
+	// still the pre-round value when node v is reached (it only flips
+	// below, at v itself), so it identifies exactly the skipped nodes.
+	out := e.state.out[:0]
 	for v := 0; v < n; v++ {
-		ctx := ctxs[v]
-		if ctx == nil {
+		if e.state.halted[v] {
 			continue
 		}
+		ctx := e.state.ctxs[v]
 		if ctx.err != nil {
 			return ctx.err
 		}
@@ -92,5 +89,6 @@ func (e *executor) step(round int64, isInit bool) error {
 		}
 		out = append(out, ctx.outbox...)
 	}
+	e.state.out = out
 	return e.net.deliver(round, out, e.state, e.counters)
 }

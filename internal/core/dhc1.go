@@ -23,6 +23,10 @@ type DHC1Options struct {
 	// HyperMaxSteps overrides the Phase 2 hypernode rotation budget
 	// (default 4 × the Theorem 2 budget for K, covering probe rejections).
 	HyperMaxSteps int64
+	// Workers sizes the simulator's parallel executor when the caller's
+	// congest.Options leaves it unset; both phases run on the pool. Any
+	// value produces identical results; only wall-clock changes.
+	Workers int
 }
 
 // dhc1Node is the per-node program: shared Phase 1, then the hypernode
@@ -104,6 +108,9 @@ func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Opti
 		steps := rotation.DefaultMaxSteps(scope)
 		hyperSteps := 4 * rotation.DefaultMaxSteps(numColors)
 		netOpts.MaxRounds = 4*b + 8 + steps*(b+3) + hyperSteps*(b+4) + 8*b + 2048
+	}
+	if netOpts.Workers == 0 {
+		netOpts.Workers = opts.Workers
 	}
 	progs := make([]*dhc1Node, n)
 	nodes := make([]congest.Node, n)

@@ -30,6 +30,12 @@ type DHC2Options struct {
 	B int64
 	// MaxSteps overrides the per-partition DRA step budget.
 	MaxSteps int64
+	// Workers sizes the simulator's parallel executor when the caller's
+	// congest.Options leaves it unset, so one knob drives every phase of the
+	// run — the phase-1 partition DRAs and the phase-2 merge levels both
+	// execute round by round on that pool. Any value produces identical
+	// results; only wall-clock changes.
+	Workers int
 }
 
 // dhc2Node is the per-node program: Phase 1 (shared) then tree merging.
@@ -129,6 +135,9 @@ func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Opti
 	cfg := phase1Config{NumColors: int32(numColors), B: b, MaxSteps: opts.MaxSteps}
 	if netOpts.MaxRounds == 0 {
 		netOpts.MaxRounds = dhc2RoundBudget(n, numColors, b)
+	}
+	if netOpts.Workers == 0 {
+		netOpts.Workers = opts.Workers
 	}
 	progs := make([]*dhc2Node, n)
 	nodes := make([]congest.Node, n)

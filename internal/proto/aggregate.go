@@ -134,9 +134,13 @@ func (b *Barrier) maybeSendUp(ctx *congest.Context, seq int32) {
 	b.sentUp[seq] = true
 	if b.tree.IsRoot(ctx.ID()) {
 		b.release(ctx, seq, ctx.Round()+b.ReleaseDelay)
-	} else {
+	} else if b.tree.Adopted() {
 		ctx.Send(b.tree.Parent, wire.Msg(wire.KindBarrierUp, seq))
 	}
+	// A node the tree never adopted (disconnected from the root) has nowhere
+	// to report; it stays silent and the barrier never releases, so the run
+	// ends at its round budget — the correct verdict on a network that
+	// cannot agree on anything, and one the model allows us to observe.
 }
 
 func (b *Barrier) release(ctx *congest.Context, seq int32, startRound int64) {

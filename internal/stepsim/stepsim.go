@@ -8,13 +8,20 @@
 // seconds. Agreement with the exact engine on overlapping sizes is checked
 // by crosscheck tests (see crosscheck_test.go at the repository root).
 //
-// Phase 1 of DHC1/DHC2 — one independent DRA run per color class — is
-// embarrassingly parallel, and Options.Workers shards it across a bounded
-// worker pool. The sharded engine follows the same deterministic-merge
-// discipline as internal/congest's parallel executor: every partition draws
-// from a private RNG stream split off the run seed, and results are merged
-// in partition-id order, so any Workers value (including 0 and 1) produces
-// byte-identical cycles and costs.
+// Options.Workers parallelizes the phases with per-class independence.
+// Phase 1 of DHC1/DHC2 — one independent DRA run per color class — shards
+// across a bounded worker pool. Phase 2 of DHC2 — the ⌈log₂ K⌉ pairwise
+// merge levels of the merge tree — runs each level's independent pair
+// merges on the same pool (the levels themselves are inherently sequential:
+// level l+1 consumes level l's outputs). DHC1's phase 2, a single hypernode
+// rotation over all K partitions, has no such independent units and stays
+// sequential. All sharded paths follow the same deterministic-merge
+// discipline as
+// internal/congest's parallel executor: every unit of work draws from a
+// private RNG stream split off the run seed (per partition in phase 1, per
+// pair from the level stream in phase 2), and results are merged in
+// partition-id / pair-index order, so any Workers value (including 0 and 1)
+// produces byte-identical cycles and costs.
 package stepsim
 
 import (
@@ -42,8 +49,9 @@ type Options struct {
 	Delta float64
 	// MaxAttempts bounds restart retries (0 = 6).
 	MaxAttempts int
-	// Workers bounds the phase-1 worker pool; values <= 1 run partitions
-	// sequentially. Results are identical for every value.
+	// Workers bounds the worker pool shared by phase 1 (partition DRA runs)
+	// and DHC2's phase-2 merge tree (pair merges within a level); values
+	// <= 1 run sequentially. Results are identical for every value.
 	Workers int
 }
 
@@ -109,6 +117,38 @@ func DRA(g *graph.Graph, seed uint64, maxAttempts int) (*cycle.Cycle, Cost, erro
 		cost.Rounds += 2*b + 2 // failure flood + quiet period
 	}
 	return nil, cost, fmt.Errorf("%w: %v", ErrFailed, lastErr)
+}
+
+// runPool runs fn(worker, item) for every item in [0, items): inline when
+// workers <= 1, else on a bounded pool of min(workers, items) goroutines.
+// fn must only write state owned by its item or its worker index; callers
+// get determinism by folding per-item results in item order afterwards.
+func runPool(workers, items int, fn func(worker, item int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < items; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 }
 
 // partition assigns each vertex one of k colors uniformly, mirroring DHC
@@ -203,36 +243,9 @@ func runPhase1Once(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers 
 		streams[c] = src.Split(uint64(c) + 1)
 	}
 	outs := make([]partOutcome, k)
-	if workers > k {
-		workers = k
-	}
-	if workers <= 1 {
-		for c := 0; c < k; c++ {
-			outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
-			if outs[c].err != nil {
-				// The id-order merge below stops at the first error anyway,
-				// so skipping the remaining partitions changes nothing.
-				break
-			}
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for c := range work {
-					outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
-				}
-			}()
-		}
-		for c := 0; c < k; c++ {
-			work <- c
-		}
-		close(work)
-		wg.Wait()
-	}
+	runPool(workers, k, func(_, c int) {
+		outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
+	})
 
 	res := &phase1Result{
 		cycles: make([]*cycle.Cycle, k),
@@ -355,44 +368,107 @@ func DHC2(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 		Restarts:     p1.restarts,
 		Phase1Rounds: scaffolding(p1.scopeB) + p1.maxRounds,
 	}
-	cycles := make([]*cycle.Cycle, 0, numColors)
-	cycles = append(cycles, p1.cycles...)
-	levels := int64(0)
-	for len(cycles) > 1 {
-		levels++
-		next := make([]*cycle.Cycle, 0, (len(cycles)+1)/2)
-		for i := 0; i+1 < len(cycles); i += 2 {
-			merged, err := mergePair(g, cycles[i], cycles[i+1], src)
-			if err != nil {
-				return nil, cost, fmt.Errorf("%w: merge level %d: %v", ErrFailed, levels, err)
-			}
-			next = append(next, merged)
-		}
-		if len(cycles)%2 == 1 {
-			next = append(next, cycles[len(cycles)-1])
-		}
-		cycles = next
+	hc, levels, err := runMergeTree(g, p1.cycles, src, opts.Workers)
+	if err != nil {
+		return nil, cost, err
 	}
 	// Each level costs 2B+10 rounds (probe exchanges plus two scoped
 	// broadcasts), mirroring internal/core/merge.go.
 	cost.Phase2Rounds = levels * (2*p1.scopeB + 10)
 	cost.Rounds = cost.Phase1Rounds + cost.Phase2Rounds
-	hc := cycles[0]
 	if err := hc.Verify(g); err != nil {
 		return nil, cost, fmt.Errorf("%w: %v", ErrFailed, err)
 	}
 	return hc, cost, nil
 }
 
+// mergeTreeTag namespaces the phase-2 level streams within the run's split
+// space, away from the phase-1 partition indices.
+const mergeTreeTag = uint64(0xD4C2) << 32
+
+// mergeOutcome is one pair's result slot, written only by the worker that
+// owns the pair and read only after the level's pool drains.
+type mergeOutcome struct {
+	cyc *cycle.Cycle
+	err error
+}
+
+// runMergeTree collapses the per-partition subcycles into one cycle through
+// ⌈log₂ K⌉ pairwise merge levels (paper Algorithm 3, Phase 2). The levels
+// are inherently sequential, but within a level every pair merge is
+// independent — exactly the parallelism the paper's round bound counts on —
+// so with workers > 1 the pairs of a level run on a bounded worker pool.
+//
+// Determinism: pair i of level l draws all randomness from
+// src.Split(mergeTreeTag+l).Split(i+1), a pure function of the run seed, and
+// outcomes land in a pre-sized slot array folded in pair-index order (first
+// error in pair order wins), so every workers value produces byte-identical
+// results. Each worker owns one reusable scratch buffer across all levels,
+// keeping the bridge scan allocation-free per pair.
+func runMergeTree(g *graph.Graph, cycles []*cycle.Cycle, src *rng.Source, workers int) (*cycle.Cycle, int64, error) {
+	if len(cycles) == 1 {
+		return cycles[0], 0, nil
+	}
+	poolSize := workers
+	if poolSize > len(cycles)/2 {
+		poolSize = len(cycles) / 2
+	}
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	scratches := make([]*mergeScratch, poolSize)
+	for w := range scratches {
+		scratches[w] = newMergeScratch(g.N())
+	}
+	levels := int64(0)
+	for len(cycles) > 1 {
+		levels++
+		levelSrc := src.Split(mergeTreeTag + uint64(levels))
+		pairs := len(cycles) / 2
+		outs := make([]mergeOutcome, pairs)
+		runPool(poolSize, pairs, func(w, i int) {
+			outs[i].cyc, outs[i].err = mergePair(
+				g, cycles[2*i], cycles[2*i+1], levelSrc.Split(uint64(i)+1), scratches[w])
+		})
+		next := make([]*cycle.Cycle, 0, (len(cycles)+1)/2)
+		for i := 0; i < pairs; i++ {
+			if outs[i].err != nil {
+				return nil, levels, fmt.Errorf("%w: merge level %d pair %d: %v",
+					ErrFailed, levels, i, outs[i].err)
+			}
+			next = append(next, outs[i].cyc)
+		}
+		if len(cycles)%2 == 1 {
+			next = append(next, cycles[len(cycles)-1])
+		}
+		cycles = next
+	}
+	return cycles[0], levels, nil
+}
+
+// mergeScratch is one worker's reusable state for mergePair's bridge scan:
+// pos[v] is v's index on the second cycle plus one (0 = not on it). It is
+// sized to the full graph once per run; mergePair wipes only the entries it
+// stamped, so repeated scans allocate nothing.
+type mergeScratch struct {
+	pos []int32
+}
+
+func newMergeScratch(n int) *mergeScratch { return &mergeScratch{pos: make([]int32, n)} }
+
 // mergePair finds a bridge between two cycles (paper Fig. 3) and merges
 // them. It mirrors the distributed bridge search: for each cycle edge
 // (v -> u) of the first cycle, a neighbor w on the second cycle bridges if
 // (v, w) and (u, succ(w)) — or (u, pred(w)) — are graph edges.
-func mergePair(g *graph.Graph, c1, c2 *cycle.Cycle, src *rng.Source) (*cycle.Cycle, error) {
-	on2 := make(map[graph.NodeID]int, c2.Len())
+func mergePair(g *graph.Graph, c1, c2 *cycle.Cycle, src *rng.Source, sc *mergeScratch) (*cycle.Cycle, error) {
 	for i := 0; i < c2.Len(); i++ {
-		on2[c2.At(i)] = i
+		sc.pos[c2.At(i)] = int32(i) + 1
 	}
+	defer func() {
+		for i := 0; i < c2.Len(); i++ {
+			sc.pos[c2.At(i)] = 0
+		}
+	}()
 	// Scan first-cycle edges in random rotation order so merges do not
 	// systematically favor low ids.
 	offset := src.Intn(c1.Len())
@@ -400,10 +476,11 @@ func mergePair(g *graph.Graph, c1, c2 *cycle.Cycle, src *rng.Source) (*cycle.Cyc
 		v := c1.At(offset + i)
 		u := c1.At(offset + i + 1)
 		for _, w := range g.Neighbors(v) {
-			wi, ok := on2[w]
-			if !ok {
+			pw := sc.pos[w]
+			if pw == 0 {
 				continue
 			}
+			wi := int(pw - 1)
 			wSucc := c2.At(wi + 1)
 			wPred := c2.At(wi - 1)
 			if g.HasEdge(u, wSucc) {

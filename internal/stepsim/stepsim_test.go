@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dhc/internal/cycle"
 	"dhc/internal/graph"
 	"dhc/internal/rng"
 )
@@ -168,5 +169,54 @@ func TestDHCWorkerEdgeCases(t *testing.T) {
 	}
 	if _, _, err := DHC1(g, 2, Options{Workers: 16}); err != nil {
 		t.Fatalf("DHC1 workers=16 on n=60: %v", err)
+	}
+}
+
+// TestMergeTreeWorkerDeterminism pins runMergeTree in isolation: the same
+// subcycles and seed must produce an identical merged cycle and level count
+// at every workers value. Because different worker counts route different
+// pair sequences through each reusable scratch buffer, agreement here also
+// proves mergePair's scratch wipe leaves no state behind between pairs.
+func TestMergeTreeWorkerDeterminism(t *testing.T) {
+	g := denseGNP(600, 0.7, 3)
+	src := rng.New(9)
+	const k = 16
+	classes := partition(g.N(), k, src)
+	cycles := make([]*cycle.Cycle, k)
+	for c := 0; c < k; c++ {
+		out := solvePartition(g, c, classes[c], src.Split(uint64(c)+1), 6)
+		if out.err != nil {
+			t.Fatalf("partition %d: %v", c, out.err)
+		}
+		cycles[c] = out.cyc
+	}
+	var wantOrder []graph.NodeID
+	var wantLevels int64
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		in := append([]*cycle.Cycle(nil), cycles...)
+		hc, levels, err := runMergeTree(g, in, rng.New(77), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := hc.Verify(g); err != nil {
+			t.Fatalf("workers=%d: merged cycle invalid: %v", workers, err)
+		}
+		if wantOrder == nil {
+			wantOrder = hc.Order()
+			wantLevels = levels
+			if levels != 4 {
+				t.Fatalf("16 subcycles should merge in 4 levels, got %d", levels)
+			}
+			continue
+		}
+		if levels != wantLevels {
+			t.Fatalf("workers=%d: levels %d, want %d", workers, levels, wantLevels)
+		}
+		got := hc.Order()
+		for i := range wantOrder {
+			if got[i] != wantOrder[i] {
+				t.Fatalf("workers=%d: cycle diverges at position %d", workers, i)
+			}
+		}
 	}
 }
