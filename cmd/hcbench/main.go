@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -50,14 +51,44 @@ func run() error {
 		validate   = flag.String("validate", "", "validate an existing JSON report (schema + no failed runs) and exit")
 		rev        = flag.String("rev", "dev", "revision label embedded in the JSON report")
 		algos      = flag.String("algos", "dhc2", "pipeline: comma-separated algorithms (dra,dhc1,dhc2,upcast)")
-		engines    = flag.String("engines", "step", "pipeline: comma-separated engines (step,exact)")
+		engines    = flag.String("engines", "step", "pipeline: comma-separated engines (step,exact,exact-dense)")
 		sizes      = flag.String("sizes", "4096,16384", "pipeline: comma-separated vertex counts")
 		workerGrid = flag.String("workerGrid", "1,8", "pipeline: comma-separated worker counts to measure each point at")
 		colors     = flag.Int("colors", 8, "pipeline: partition count K (0 = let the algorithm derive it)")
 		delta      = flag.Float64("delta", 1.0, "pipeline: density exponent of p = cmult*ln(n)/n^delta")
 		cmult      = flag.Float64("cmult", 32, "pipeline: density constant of p = cmult*ln(n)/n^delta")
+		bound      = flag.Int64("bound", 0, "pipeline: broadcast-bound override B for the exact engines (0 = tight default, n = the paper's trivial bound)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hcbench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *validate != "" {
 		return runValidate(*validate)
@@ -70,7 +101,7 @@ func run() error {
 		return runJSON(jsonParams{
 			out: *jsonOut, rev: *rev, grid: grid,
 			trials: *trials, seed: *seed, colors: *colors,
-			delta: *delta, cmult: *cmult,
+			delta: *delta, cmult: *cmult, bound: *bound,
 		})
 	}
 
@@ -102,9 +133,27 @@ func run() error {
 // benchGrid is the cartesian sweep of the JSON pipeline.
 type benchGrid struct {
 	algos      []dhc.Algorithm
-	engines    []dhc.Engine
+	engines    []engineMode
 	sizes      []int
 	workerGrid []int
+}
+
+// engineMode is one engine column of the grid: the simulation engine plus,
+// for the exact engine, the scheduling mode (event-driven vs dense oracle).
+type engineMode struct {
+	engine dhc.Engine
+	dense  bool
+}
+
+func (e engineMode) name() string {
+	switch {
+	case e.engine == dhc.EngineStep:
+		return "step"
+	case e.dense:
+		return "exact-dense"
+	default:
+		return "exact"
+	}
 }
 
 type jsonParams struct {
@@ -114,6 +163,7 @@ type jsonParams struct {
 	seed         uint64
 	colors       int
 	delta, cmult float64
+	bound        int64
 }
 
 func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
@@ -128,9 +178,11 @@ func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
 	for _, s := range splitList(engines) {
 		switch s {
 		case "step":
-			g.engines = append(g.engines, dhc.EngineStep)
+			g.engines = append(g.engines, engineMode{engine: dhc.EngineStep})
 		case "exact":
-			g.engines = append(g.engines, dhc.EngineExact)
+			g.engines = append(g.engines, engineMode{engine: dhc.EngineExact})
+		case "exact-dense":
+			g.engines = append(g.engines, engineMode{engine: dhc.EngineExact, dense: true})
 		default:
 			return g, fmt.Errorf("unknown engine %q", s)
 		}
@@ -173,13 +225,6 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func engineName(e dhc.Engine) string {
-	if e == dhc.EngineExact {
-		return "exact"
-	}
-	return "step"
-}
-
 // runJSON executes the benchmark grid and writes the versioned report. Each
 // graph is generated once per (n, trial) and shared across the whole
 // algo × engine × workers sweep, so wall-clock differences within a point
@@ -198,23 +243,26 @@ func runJSON(p jsonParams) error {
 				for _, engine := range p.grid.engines {
 					for _, workers := range p.grid.workerGrid {
 						rec := bench.Record{
-							Algo:      algo.String(),
-							Engine:    engineName(engine),
-							N:         n,
-							M:         int64(g.M()),
-							P:         pr,
-							Seed:      p.seed + uint64(trial),
-							GraphSeed: graphSeed,
-							NumColors: p.colors,
-							Workers:   workers,
+							Algo:           algo.String(),
+							Engine:         engine.name(),
+							N:              n,
+							M:              int64(g.M()),
+							P:              pr,
+							Seed:           p.seed + uint64(trial),
+							GraphSeed:      graphSeed,
+							NumColors:      p.colors,
+							BroadcastBound: p.bound,
+							Workers:        workers,
 						}
 						start := time.Now()
 						res, err := dhc.Solve(g, algo, dhc.Options{
-							Seed:      rec.Seed,
-							Engine:    engine,
-							NumColors: p.colors,
-							Delta:     p.delta,
-							Workers:   workers,
+							Seed:           rec.Seed,
+							Engine:         engine.engine,
+							NumColors:      p.colors,
+							Delta:          p.delta,
+							Workers:        workers,
+							DenseSweep:     engine.dense,
+							BroadcastBound: p.bound,
 						})
 						rec.WallSeconds = time.Since(start).Seconds()
 						if err != nil {
@@ -225,6 +273,11 @@ func runJSON(p jsonParams) error {
 							rec.Steps = res.Steps
 							rec.Phase1Rounds = res.Phase1Rounds
 							rec.Phase2Rounds = res.Phase2Rounds
+							if res.Counters != nil {
+								rec.Messages = res.Counters.Messages
+								rec.Bits = res.Counters.Bits
+								rec.RoundsSkipped = res.Counters.RoundsSkipped
+							}
 						}
 						rep.Append(rec)
 						fmt.Printf("%s/%s n=%d workers=%d trial=%d: wall=%.3fs ok=%v\n",
@@ -273,9 +326,9 @@ func printSpeedups(rep *bench.Report, grid benchGrid) {
 					if w == base {
 						continue
 					}
-					if s, ok := rep.Speedup(algo.String(), engineName(engine), n, base, w); ok {
+					if s, ok := rep.Speedup(algo.String(), engine.name(), n, base, w); ok {
 						fmt.Printf("speedup %s/%s n=%d: workers=%d vs %d -> %.2fx\n",
-							algo.String(), engineName(engine), n, w, base, s)
+							algo.String(), engine.name(), n, w, base, s)
 					}
 				}
 			}

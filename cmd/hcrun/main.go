@@ -31,7 +31,8 @@ func run() error {
 		c        = flag.Float64("c", 16, "density constant of p = c ln(n)/n^delta")
 		delta    = flag.Float64("delta", 0.5, "sparsity exponent delta")
 		seed     = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
-		engine   = flag.String("engine", "exact", "engine: exact or step")
+		engine   = flag.String("engine", "exact", "engine: exact (event-driven), exact-dense (dense-sweep oracle) or step")
+		bound    = flag.Int64("bound", 0, "broadcast-bound override B for the exact engines (0 = tight default)")
 		workers  = flag.Int("workers", 1, "parallel workers (exact-engine executor / step-engine phase-1 shards)")
 		colors   = flag.Int("colors", 0, "override partition count K")
 		asJSON   = flag.Bool("json", false, "JSON output")
@@ -49,14 +50,18 @@ func run() error {
 	}
 	g := dhc.NewGNP(*n, prob, *seed+1)
 	opts := dhc.Options{
-		Seed:      *seed,
-		Delta:     *delta,
-		NumColors: *colors,
-		Workers:   *workers,
+		Seed:           *seed,
+		Delta:          *delta,
+		NumColors:      *colors,
+		Workers:        *workers,
+		BroadcastBound: *bound,
 	}
 	switch *engine {
 	case "exact":
 		opts.Engine = dhc.EngineExact
+	case "exact-dense":
+		opts.Engine = dhc.EngineExact
+		opts.DenseSweep = true
 	case "step":
 		opts.Engine = dhc.EngineStep
 	default:

@@ -94,6 +94,87 @@ func TestDeterminismAcrossWorkersExact(t *testing.T) {
 	}
 }
 
+// eventVsDenseFingerprint reduces a Result to the fields the event-driven
+// engine contract pins against the dense sweep: the cycle itself, the round
+// accounting (including charged skipped rounds), and the full message/bit
+// counters. Invocation and skip counters are intentionally excluded — they
+// are exactly what the two modes are allowed (indeed expected) to differ on.
+func eventVsDenseFingerprint(res *Result) string {
+	return fmt.Sprintf("cycle=%v rounds=%d p1=%d p2=%d messages=%d bits=%d maxMsgBits=%d",
+		res.Cycle.Order(), res.Rounds, res.Phase1Rounds, res.Phase2Rounds,
+		res.Counters.Messages, res.Counters.Bits, res.Counters.MaxMessageBits)
+}
+
+// TestEventDrivenMatchesDenseSweep is the differential test of the
+// event-driven exact engine against its dense-sweep oracle: for both DHC
+// algorithms, across the full worker grid, the two scheduling modes must
+// produce byte-identical cycles, round counts, and message/bit counters —
+// while the event-driven runs must actually skip rounds and invoke far
+// fewer nodes, or the engine isn't event-driven at all.
+func TestEventDrivenMatchesDenseSweep(t *testing.T) {
+	g := NewGNP(160, 0.7, 13)
+	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			var want string
+			var denseInvocations int64
+			for _, dense := range []bool{true, false} {
+				for _, workers := range workerGrid {
+					res, err := Solve(g, algo, Options{
+						Seed: 5, NumColors: 8, Workers: workers, DenseSweep: dense,
+					})
+					if err != nil {
+						t.Fatalf("dense=%v workers=%d: %v", dense, workers, err)
+					}
+					got := eventVsDenseFingerprint(res)
+					if want == "" {
+						want = got
+					} else if got != want {
+						t.Fatalf("dense=%v workers=%d diverged:\n got %s\nwant %s",
+							dense, workers, got, want)
+					}
+					if dense {
+						denseInvocations = res.Counters.Invocations
+						if res.Counters.RoundsSkipped != 0 {
+							t.Fatalf("dense sweep skipped %d rounds", res.Counters.RoundsSkipped)
+						}
+					} else {
+						if res.Counters.RoundsSkipped == 0 {
+							t.Fatal("event-driven run skipped no rounds")
+						}
+						if res.Counters.Invocations >= denseInvocations {
+							t.Fatalf("event-driven run invoked %d nodes, dense %d — no activity savings",
+								res.Counters.Invocations, denseInvocations)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEventDrivenMatchesDenseSweepSingleMachine extends the differential
+// check to the single-instance algorithms (standalone DRA and Upcast).
+func TestEventDrivenMatchesDenseSweepSingleMachine(t *testing.T) {
+	g := NewGNP(200, 0.7, 17)
+	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmUpcast} {
+		t.Run(algo.String(), func(t *testing.T) {
+			var want string
+			for _, dense := range []bool{true, false} {
+				res, err := Solve(g, algo, Options{Seed: 9, DenseSweep: dense})
+				if err != nil {
+					t.Fatalf("dense=%v: %v", dense, err)
+				}
+				got := eventVsDenseFingerprint(res)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("dense=%v diverged:\n got %s\nwant %s", dense, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestDeterminismSingleMachine covers the algorithms without a partition
 // phase (DRA, Upcast): repeat runs must be identical for both engines.
 func TestDeterminismSingleMachine(t *testing.T) {

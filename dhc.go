@@ -139,6 +139,21 @@ type Options struct {
 	// plus parallel phase-2 merge tree. Any value (0, 1, 4, ...) produces
 	// byte-identical results; only wall-clock changes.
 	Workers int
+	// DenseSweep forces the exact engine's dense per-round sweep (every
+	// node invoked every round) instead of the default event-driven
+	// schedule that invokes only nodes with deliveries or due wake-ups and
+	// skips globally quiet rounds. Both modes produce byte-identical
+	// cycles, rounds, and message/bit counters; the dense sweep is retained
+	// as the differential-testing oracle. Ignored by EngineStep.
+	DenseSweep bool
+	// BroadcastBound overrides B, the bound every broadcast/BFS settling
+	// wait is charged at (rotation consistency waits, barrier release
+	// delays). Zero keeps each algorithm's default: a tight bound computed
+	// from an eccentricity BFS — global knowledge the CONGEST model does
+	// not actually grant. Setting BroadcastBound to n selects the paper's
+	// assumption-free trivial bound; its long quiet waits are exactly what
+	// the event-driven engine skips. Exact engine only.
+	BroadcastBound int64
 	// MaxAttempts bounds restart retries (step engine and partition DRA).
 	MaxAttempts int
 	// SamplesPerNode is Upcast's per-node edge sample count (0 = 3·ln n).
@@ -171,6 +186,12 @@ func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	if opts.Engine == 0 {
 		opts.Engine = EngineExact
 	}
+	if opts.BroadcastBound < 0 {
+		// A negative bound would poison the derived round budgets and
+		// surface as a round-limit failure, which wrapNoHC would then
+		// misclassify as a genuine no-cycle outcome; reject it up front.
+		return nil, fmt.Errorf("dhc: broadcast bound %d must be >= 0", opts.BroadcastBound)
+	}
 	switch opts.Engine {
 	case EngineExact:
 		return solveExact(g, algo, opts)
@@ -185,10 +206,10 @@ func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	// The DHC algorithms own their executor sizing through their core
 	// options (the single source of truth for the knob); the single-phase
 	// algorithms take it via congest.Options directly.
-	netOpts := congest.Options{Workers: opts.Workers}
+	netOpts := congest.Options{Workers: opts.Workers, DenseSweep: opts.DenseSweep}
 	switch algo {
 	case AlgorithmDRA:
-		r, err := dra.Run(g, opts.Seed, dra.NodeOptions{}, netOpts)
+		r, err := dra.Run(g, opts.Seed, dra.NodeOptions{BroadcastRounds: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
@@ -196,8 +217,9 @@ func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 	case AlgorithmDHC1:
 		r, err := core.RunDHC1(g, opts.Seed, core.DHC1Options{
 			NumColors: opts.NumColors,
+			B:         opts.BroadcastBound,
 			Workers:   opts.Workers,
-		}, congest.Options{})
+		}, congest.Options{DenseSweep: opts.DenseSweep})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
@@ -206,14 +228,15 @@ func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 		r, err := core.RunDHC2(g, opts.Seed, core.DHC2Options{
 			Delta:     opts.Delta,
 			NumColors: opts.NumColors,
+			B:         opts.BroadcastBound,
 			Workers:   opts.Workers,
-		}, congest.Options{})
+		}, congest.Options{DenseSweep: opts.DenseSweep})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
 		return fromCoreResult(r), nil
 	case AlgorithmUpcast:
-		r, err := upcast.Run(g, opts.Seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode}, netOpts)
+		r, err := upcast.Run(g, opts.Seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode, B: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}

@@ -93,6 +93,8 @@ func TestConfigErrorsAreNotNoCycle(t *testing.T) {
 		{"dhc2/step/delta-zero", AlgorithmDHC2, Options{Seed: 1, Engine: EngineStep}},
 		{"dhc2/exact/delta-too-big", AlgorithmDHC2, Options{Seed: 1, Delta: 2.5}},
 		{"dhc2/exact/delta-zero", AlgorithmDHC2, Options{Seed: 1}},
+		{"dhc2/exact/negative-bound", AlgorithmDHC2, Options{Seed: 1, Delta: 0.5, BroadcastBound: -5}},
+		{"dhc1/exact/negative-bound", AlgorithmDHC1, Options{Seed: 1, BroadcastBound: -5}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -24,7 +24,8 @@ const SchemaVersion = 1
 type Record struct {
 	// Algo is the short algorithm name ("dra", "dhc1", "dhc2", "upcast").
 	Algo string `json:"algo"`
-	// Engine is "exact" or "step".
+	// Engine is "exact" (event-driven), "exact-dense" (the dense-sweep
+	// oracle) or "step".
 	Engine string `json:"engine"`
 	// N and M are the instance's vertex and edge counts; P its density.
 	N int     `json:"n"`
@@ -35,6 +36,9 @@ type Record struct {
 	GraphSeed uint64 `json:"graph_seed"`
 	// NumColors is the partition count K passed to the run (0 = derived).
 	NumColors int `json:"num_colors,omitempty"`
+	// BroadcastBound is the B override passed to the run (0 = the
+	// algorithm's default tight bound).
+	BroadcastBound int64 `json:"broadcast_bound,omitempty"`
 	// Workers is the worker-pool bound the run was measured at.
 	Workers int `json:"workers"`
 	// WallSeconds is the Solve call's wall-clock time (graph generation
@@ -47,6 +51,16 @@ type Record struct {
 	Steps        int64 `json:"steps"`
 	Phase1Rounds int64 `json:"phase1_rounds"`
 	Phase2Rounds int64 `json:"phase2_rounds"`
+	// Messages/Bits are the exact engine's full message counters (zero for
+	// the step engine, which does not exchange messages). They let a report
+	// demonstrate the event-vs-dense identity contract: rows differing only
+	// in engine "exact" vs "exact-dense" must agree on rounds, messages and
+	// bits byte for byte.
+	Messages int64 `json:"messages,omitempty"`
+	Bits     int64 `json:"bits,omitempty"`
+	// RoundsSkipped is the quiet-round subset of Rounds the event-driven
+	// engine charged without executing (zero for exact-dense and step).
+	RoundsSkipped int64 `json:"rounds_skipped,omitempty"`
 	// OK is false when the run errored; Error then holds the message.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -118,7 +132,7 @@ func (r *Report) Validate() error {
 		if rec.Algo == "" {
 			return fmt.Errorf("bench: record %d missing algo", i)
 		}
-		if rec.Engine != "exact" && rec.Engine != "step" {
+		if rec.Engine != "exact" && rec.Engine != "exact-dense" && rec.Engine != "step" {
 			return fmt.Errorf("bench: record %d has unknown engine %q", i, rec.Engine)
 		}
 		if rec.N <= 0 {

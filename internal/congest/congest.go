@@ -9,16 +9,40 @@
 // rounds, messages, bits, per-node memory and per-node computation via
 // package metrics.
 //
+// # Activity contract (event-driven execution)
+//
+// The default executor is event-driven: a node's Round method is invoked in
+// round r only if (a) at least one message was delivered to it this round,
+// (b) it scheduled a wake-up covering r via Context.WakeAt/WakeEvery, or
+// (c) r is the Init round (round 0, where every node runs). When the whole
+// network is quiet — no messages in flight and no wake-up due — the engine
+// skips directly to the next scheduled wake-up, charging the skipped rounds
+// to metrics.Counters so round accounting is identical to a dense sweep.
+// A round's cost is therefore O(active nodes + delivered messages) instead
+// of O(n).
+//
+// A node program that never calls a wake API is treated as legacy-dense: it
+// is invoked every round (and, while any such node is live, the engine
+// never skips rounds). Calling WakeAt or WakeEvery — including WakeEvery(0),
+// the explicit "message-driven only" declaration — permanently opts the node
+// into event-driven scheduling: from then on it is invoked only on delivery
+// or at its scheduled wake-ups, so each invocation must arrange the next
+// wake-up it needs. Options.DenseSweep restores the dense sweep for every
+// node; it is the differential-testing oracle, and a correct program behaves
+// byte-identically under both modes because an invocation with an empty
+// inbox outside its scheduled wake-ups must be a no-op.
+//
 // Determinism: a run is a pure function of (graph, node programs, seed).
-// Each node receives its own RNG stream split from the run seed, and inboxes
-// are assembled in sender-id order, so the sequential and the parallel
-// executor produce identical executions.
+// Each node receives its own RNG stream split from the run seed, inboxes
+// are assembled in sender-id order, and the active set is derived
+// single-threaded from deliveries and the wake schedule, so the sequential
+// executor, the parallel executor, the event-driven schedule and the dense
+// sweep all produce identical executions.
 package congest
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"dhc/internal/graph"
 	"dhc/internal/metrics"
@@ -45,11 +69,15 @@ type Envelope struct {
 
 // Node is one processor's program. Implementations keep all their state in
 // the struct; the simulator calls Init once before round 1 and then Round
-// once per round until the node halts.
+// per active round (see the package-level activity contract) until the node
+// halts.
 type Node interface {
-	// Init runs before the first round; the node may send initial messages.
+	// Init runs before the first round; the node may send initial messages
+	// and declare its wake-up discipline.
 	Init(ctx *Context)
 	// Round processes the messages delivered this round and may send more.
+	// Under event-driven execution it runs only on delivery or at a
+	// scheduled wake-up.
 	Round(ctx *Context, inbox []Envelope)
 }
 
@@ -63,6 +91,12 @@ type Context struct {
 	outbox []routedMsg
 	halted bool
 	err    error
+
+	// per-call wake-up requests, consumed by the scheduler
+	wakeAt       int64 // earliest requested wake round (0 = none this call)
+	wakeEvery    int64 // requested standing interval (meaningful iff wakeEverySet)
+	wakeEverySet bool
+	wakeDeclared bool // any wake API call this invocation
 
 	// per-call metric deltas, merged by the executor
 	memWords int64
@@ -111,6 +145,52 @@ func (c *Context) Send(to graph.NodeID, m wire.Message) {
 // The run ends when every node has halted.
 func (c *Context) Halt() { c.halted = true }
 
+// Halted reports whether Halt was called during this invocation, so shared
+// wake-arming helpers can skip scheduling for a finished node.
+func (c *Context) Halted() bool { return c.halted }
+
+// WakeAt guarantees this node is invoked no later than the given absolute
+// round, even if no message is delivered to it. Requests for the current
+// round or earlier mean "next round". Multiple calls keep the earliest
+// round; an earlier wake-up already pending is never postponed. The first
+// wake-API call permanently opts the node into event-driven scheduling (see
+// the package doc).
+func (c *Context) WakeAt(round int64) {
+	c.wakeDeclared = true
+	if round <= c.round {
+		round = c.round + 1
+	}
+	if c.wakeAt == 0 || round < c.wakeAt {
+		c.wakeAt = round
+	}
+}
+
+// WakeEvery installs a standing wake-up: at most `interval` rounds pass
+// between invocations of this node (WakeEvery(1) keeps the node dense).
+// interval <= 0 clears the standing wake-up — WakeEvery(0) is the explicit
+// "message-driven only" declaration, opting the node into event-driven
+// scheduling without scheduling any wake-up. The interval persists until
+// changed by a later call.
+func (c *Context) WakeEvery(interval int64) {
+	c.wakeDeclared = true
+	if interval < 0 {
+		interval = 0
+	}
+	c.wakeEverySet = true
+	c.wakeEvery = interval
+}
+
+// WakeAtOrSleep arms a wake-up at round w when w > 0 and otherwise declares
+// the node message-driven (WakeEvery(0)) — the canonical re-arm idiom for
+// programs whose nextWake helpers return 0 to mean "no self-scheduled work".
+func (c *Context) WakeAtOrSleep(w int64) {
+	if w > 0 {
+		c.WakeAt(w)
+	} else {
+		c.WakeEvery(0)
+	}
+}
+
 // reset prepares a persistent context for this round's Init/Round call,
 // keeping the outbox's backing array.
 func (c *Context) reset(round int64) {
@@ -118,6 +198,10 @@ func (c *Context) reset(round int64) {
 	c.outbox = c.outbox[:0]
 	c.halted = false
 	c.err = nil
+	c.wakeAt = 0
+	c.wakeEvery = 0
+	c.wakeEverySet = false
+	c.wakeDeclared = false
 	c.memWords = 0
 	c.workOps = 0
 }
@@ -145,6 +229,12 @@ type Options struct {
 	MaxRounds int64
 	// Workers > 1 enables the parallel executor with that many goroutines.
 	Workers int
+	// DenseSweep disables event-driven scheduling: every live node is
+	// invoked every round and no rounds are skipped, exactly the historical
+	// O(n)-per-round sweep. It is the differential-testing oracle for the
+	// event-driven engine — both modes must produce byte-identical cycles,
+	// rounds, and message/bit counters.
+	DenseSweep bool
 	// FaultHook, if non-nil, intercepts every delivery: return false to
 	// drop the message, or return a mutated copy. Used by robustness tests.
 	FaultHook func(round int64, from, to graph.NodeID, m wire.Message) (wire.Message, bool)
@@ -183,71 +273,140 @@ func (n *Network) Codec() wire.Codec { return n.codec }
 // Run executes the network until every node halts. It returns the metered
 // counters; on failure the counters reflect the partial run.
 func (n *Network) Run(seed uint64) (*metrics.Counters, error) {
-	counters := metrics.NewCounters(n.g.N())
-	root := rng.New(seed)
-
-	numNodes := n.g.N()
-	state := &runState{
-		halted:  make([]bool, numNodes),
-		rngs:    make([]*rng.Source, numNodes),
-		inboxes: make([][]Envelope, numNodes),
-		ctxs:    make([]*Context, numNodes),
-	}
-	for v := 0; v < numNodes; v++ {
-		state.rngs[v] = root.Split(uint64(v))
-		state.ctxs[v] = &Context{net: n, id: graph.NodeID(v), rng: state.rngs[v]}
-	}
-
-	exec := newExecutor(n, state, counters)
+	state, exec, counters := n.newRun(seed)
 
 	// Init phase (round 0).
 	if err := exec.step(0, true); err != nil {
 		return counters, err
 	}
 	for round := int64(1); ; round++ {
-		if state.allHalted() {
+		if state.live == 0 {
 			return counters, nil
 		}
 		if round > n.opts.MaxRounds {
 			return counters, fmt.Errorf("%w: %d rounds", ErrRoundLimit, n.opts.MaxRounds)
 		}
-		counters.Rounds++
+		if !n.opts.DenseSweep {
+			next, ok := state.nextActiveRound(round)
+			if !ok || next > n.opts.MaxRounds {
+				// No activity before the budget: the dense sweep would spin
+				// through no-op rounds to the limit; charge them and stop.
+				counters.Rounds += n.opts.MaxRounds - round + 1
+				counters.RoundsSkipped += n.opts.MaxRounds - round + 1
+				return counters, fmt.Errorf("%w: %d rounds", ErrRoundLimit, n.opts.MaxRounds)
+			}
+			// Skip directly to the next active round, charging the quiet
+			// rounds so accounting matches the dense sweep bit for bit.
+			counters.Rounds += next - round + 1
+			counters.RoundsSkipped += next - round
+			round = next
+		} else {
+			counters.Rounds++
+		}
 		if err := exec.step(round, false); err != nil {
 			return counters, err
 		}
 	}
 }
 
+// newRun allocates the per-run storage and executor driving one execution;
+// split from Run so white-box tests can step rounds individually.
+func (n *Network) newRun(seed uint64) (*runState, *executor, *metrics.Counters) {
+	counters := metrics.NewCounters(n.g.N())
+	root := rng.New(seed)
+	state := newRunState(n.g.N())
+	for v := 0; v < n.g.N(); v++ {
+		state.rngs[v] = root.Split(uint64(v))
+		state.ctxs[v] = &Context{net: n, id: graph.NodeID(v), rng: state.rngs[v]}
+	}
+	return state, newExecutor(n, state, counters), counters
+}
+
+// runState is the engine's mutable per-run storage. Everything here is
+// reused round over round — contexts keep their outbox capacity, inbox
+// buckets recycle their backing arrays, and the bandwidth stamps are flat
+// arrays — so a round's allocations are bounded by growth in message volume,
+// not by n or by round count.
 type runState struct {
-	halted  []bool
-	rngs    []*rng.Source
+	halted []bool
+	live   int // number of non-halted nodes
+	rngs   []*rng.Source
+	// inboxes[v] is node v's current inbox bucket. deliver appends envelopes
+	// in sender-id order (the outbox concatenation is already sender-sorted)
+	// and the executor truncates the bucket back to length 0 after the node
+	// consumed it, recycling the backing array.
 	inboxes [][]Envelope
 	// ctxs are the persistent per-node contexts: each is reset and reused
-	// every round so outbox capacity survives, keeping the per-round
-	// allocation count independent of n. A Context is documented as valid
-	// only during the Init/Round call, which is what makes reuse safe.
+	// every invocation so outbox capacity survives. A Context is documented
+	// as valid only during the Init/Round call, which makes reuse safe.
 	ctxs []*Context
 	// out is the reused node-id-ordered outbox concatenation buffer.
 	out []routedMsg
+	// msgActive lists the receivers of the messages delivered for the next
+	// round (appended on first delivery to an empty bucket; never contains
+	// halted nodes or duplicates).
+	msgActive []int32
+	// active is the reused active-set buffer built by the executor.
+	active []int32
+	// dueScratch is a reused buffer for draining due wakes in dense rounds.
+	dueScratch []int32
+	// inActive marks membership while the active set is assembled.
+	inActive []bool
+	// sched is the wake-up schedule of the event-driven executor.
+	sched scheduler
+	// Bandwidth accounting scratch: bwBits[to] accumulates the bits the
+	// current sender pushed to `to` this round, valid while bwStamp[to]
+	// equals the current sender generation. Generations never repeat, so
+	// the arrays need no clearing between senders or rounds.
+	bwStamp []int64
+	bwBits  []int64
+	bwGen   int64
 }
 
-func (s *runState) allHalted() bool {
-	for _, h := range s.halted {
-		if !h {
-			return false
-		}
+func newRunState(n int) *runState {
+	return &runState{
+		halted:   make([]bool, n),
+		live:     n,
+		rngs:     make([]*rng.Source, n),
+		inboxes:  make([][]Envelope, n),
+		ctxs:     make([]*Context, n),
+		inActive: make([]bool, n),
+		sched:    newScheduler(n),
+		bwStamp:  make([]int64, n),
+		bwBits:   make([]int64, n),
 	}
-	return true
 }
 
-// deliver routes outboxes into next-round inboxes, applying fault hooks,
-// bandwidth accounting and enforcement. Called single-threaded.
+// nextActiveRound returns the earliest round >= round in which any node must
+// be invoked: `round` itself when messages are in flight or a legacy-dense
+// node is live, else the earliest scheduled wake-up. ok is false when no
+// activity can ever occur again (every live node is asleep with no wake-up).
+func (s *runState) nextActiveRound(round int64) (int64, bool) {
+	if len(s.msgActive) > 0 || s.sched.legacyLive > 0 {
+		return round, true
+	}
+	w, ok := s.sched.earliestWake(s.halted)
+	if !ok {
+		return 0, false
+	}
+	if w < round {
+		w = round
+	}
+	return w, true
+}
+
+// deliver routes the sender-ordered outbox concatenation into next-round
+// inbox buckets, applying fault hooks and bandwidth enforcement. Called
+// single-threaded. It performs no comparison sort and, at steady state, no
+// allocations: `out` is grouped by sender in ascending id order (the merge
+// loop concatenates outboxes in active-set order), so appending each
+// envelope to its receiver's recycled bucket yields sender-sorted inboxes
+// for free, and per-edge budgets are tracked with generation-stamped flat
+// arrays instead of a per-round map.
 func (n *Network) deliver(round int64, out []routedMsg, state *runState, counters *metrics.Counters) error {
-	// Per directed edge budget tracking.
-	type dirEdge struct{ from, to graph.NodeID }
-	used := make(map[dirEdge]int64)
-	next := make([][]Envelope, n.g.N())
-	for _, rm := range out {
+	curFrom := graph.NodeID(-1)
+	for i := range out {
+		rm := &out[i]
 		msg := rm.msg
 		if n.opts.FaultHook != nil {
 			var deliverIt bool
@@ -257,20 +416,27 @@ func (n *Network) deliver(round int64, out []routedMsg, state *runState, counter
 			}
 		}
 		sz := n.codec.Bits(msg)
-		key := dirEdge{from: rm.from, to: rm.to}
-		used[key] += sz
-		if used[key] > n.opts.BandwidthBits {
+		if rm.from != curFrom {
+			curFrom = rm.from
+			state.bwGen++
+		}
+		if state.bwStamp[rm.to] != state.bwGen {
+			state.bwStamp[rm.to] = state.bwGen
+			state.bwBits[rm.to] = 0
+		}
+		state.bwBits[rm.to] += sz
+		if state.bwBits[rm.to] > n.opts.BandwidthBits {
 			return fmt.Errorf("%w: edge %d->%d carried %d bits in round %d (budget %d)",
-				ErrBandwidth, rm.from, rm.to, used[key], round, n.opts.BandwidthBits)
+				ErrBandwidth, rm.from, rm.to, state.bwBits[rm.to], round, n.opts.BandwidthBits)
 		}
 		counters.AddMessage(sz)
-		next[rm.to] = append(next[rm.to], Envelope{From: rm.from, Msg: msg})
-	}
-	// Deterministic inbox order: sort by sender id (stable within sender by
-	// send order, which sort.SliceStable preserves).
-	for v := range next {
-		sort.SliceStable(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
-		state.inboxes[v] = next[v]
+		if state.halted[rm.to] {
+			continue // metered, but a halted node consumes nothing
+		}
+		if len(state.inboxes[rm.to]) == 0 {
+			state.msgActive = append(state.msgActive, int32(rm.to))
+		}
+		state.inboxes[rm.to] = append(state.inboxes[rm.to], Envelope{From: rm.from, Msg: msg})
 	}
 	return nil
 }

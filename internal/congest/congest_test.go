@@ -348,3 +348,261 @@ func (r *randRecorder) Round(ctx *Context, inbox []Envelope) {
 		ctx.Halt()
 	}
 }
+
+// tickerNode wakes itself every `every` rounds, records the rounds it ran,
+// and halts after `stops` invocations. It never receives messages, so its
+// execution is driven purely by the wake schedule.
+type tickerNode struct {
+	every int64
+	stops int
+	runs  []int64
+}
+
+func (tk *tickerNode) Init(ctx *Context) { ctx.WakeEvery(tk.every) }
+func (tk *tickerNode) Round(ctx *Context, inbox []Envelope) {
+	tk.runs = append(tk.runs, ctx.Round())
+	if len(tk.runs) >= tk.stops {
+		ctx.Halt()
+	}
+}
+
+func TestWakeEverySchedulesAndSkips(t *testing.T) {
+	g := graph.Ring(4)
+	progs := []*tickerNode{
+		{every: 7, stops: 5},
+		{every: 7, stops: 5},
+		{every: 7, stops: 5},
+		{every: 7, stops: 5},
+	}
+	nodes := make([]Node, len(progs))
+	for i := range progs {
+		nodes[i] = progs[i]
+	}
+	net, err := NewNetwork(g, nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := net.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		want := []int64{7, 14, 21, 28, 35}
+		if len(p.runs) != len(want) {
+			t.Fatalf("node %d ran at %v, want %v", i, p.runs, want)
+		}
+		for j := range want {
+			if p.runs[j] != want[j] {
+				t.Fatalf("node %d ran at %v, want %v", i, p.runs, want)
+			}
+		}
+	}
+	if counters.Rounds != 35 {
+		t.Fatalf("rounds=%d, want 35 (skipped rounds must still be charged)", counters.Rounds)
+	}
+	if counters.RoundsSkipped != 30 {
+		t.Fatalf("skipped=%d, want 30", counters.RoundsSkipped)
+	}
+	// Init (4) + 5 invocations per node.
+	if counters.Invocations != 4+4*5 {
+		t.Fatalf("invocations=%d, want 24", counters.Invocations)
+	}
+}
+
+// wakeAtNode asks for a single future wake from Init and halts there.
+type wakeAtNode struct {
+	at  int64
+	ran int64
+}
+
+func (w *wakeAtNode) Init(ctx *Context) { ctx.WakeAt(w.at) }
+func (w *wakeAtNode) Round(ctx *Context, inbox []Envelope) {
+	w.ran = ctx.Round()
+	ctx.Halt()
+}
+
+func TestWakeAtIsExact(t *testing.T) {
+	g := graph.Ring(3)
+	progs := []*wakeAtNode{{at: 5}, {at: 900}, {at: 17}}
+	nodes := []Node{progs[0], progs[1], progs[2]}
+	net, err := NewNetwork(g, nodes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := net.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		if p.ran != p.at {
+			t.Fatalf("node %d ran at %d, want %d", i, p.ran, p.at)
+		}
+	}
+	if counters.Rounds != 900 {
+		t.Fatalf("rounds=%d, want 900", counters.Rounds)
+	}
+	if counters.Invocations != 3+3 {
+		t.Fatalf("invocations=%d, want 6", counters.Invocations)
+	}
+}
+
+// sleeperNode opts into event-driven scheduling with no wake at all; it can
+// only be advanced by deliveries.
+type sleeperNode struct{ got int }
+
+func (s *sleeperNode) Init(ctx *Context) { ctx.WakeEvery(0) }
+func (s *sleeperNode) Round(ctx *Context, inbox []Envelope) {
+	s.got += len(inbox)
+	ctx.Halt()
+}
+
+func TestSleepingNetworkHitsRoundLimitLikeDenseSweep(t *testing.T) {
+	// A network where nobody will ever act again must charge the full
+	// budget and fail exactly like the dense sweep does with spinners.
+	g := graph.Ring(4)
+	for _, dense := range []bool{false, true} {
+		nodes := make([]Node, 4)
+		for i := range nodes {
+			if dense {
+				nodes[i] = &spinner{}
+			} else {
+				nodes[i] = &sleeperNode{}
+			}
+		}
+		net, err := NewNetwork(g, nodes, Options{MaxRounds: 10, DenseSweep: dense})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters, err := net.Run(1)
+		if !errors.Is(err, ErrRoundLimit) {
+			t.Fatalf("dense=%v: got %v, want ErrRoundLimit", dense, err)
+		}
+		if counters.Rounds != 10 {
+			t.Fatalf("dense=%v: rounds=%d, want 10", dense, counters.Rounds)
+		}
+	}
+}
+
+func TestMessageWakesSleeper(t *testing.T) {
+	// Node 1 sleeps (event-driven, no wake); node 0 messages it at round 4.
+	g := graph.Path(2)
+	sl := &sleeperNode{}
+	wk := &delayedSender{at: 4, target: 1}
+	net, err := NewNetwork(g, []Node{wk, sl}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if sl.got != 1 {
+		t.Fatalf("sleeper received %d messages, want 1", sl.got)
+	}
+}
+
+type delayedSender struct {
+	at     int64
+	target graph.NodeID
+}
+
+func (d *delayedSender) Init(ctx *Context) { ctx.WakeAt(d.at) }
+func (d *delayedSender) Round(ctx *Context, inbox []Envelope) {
+	ctx.Send(d.target, wire.Msg(wire.KindToken))
+	ctx.Halt()
+}
+
+// TestLegacyNodesStayDense pins the compatibility contract: a node that
+// never calls a wake API is invoked every round and suppresses skipping.
+func TestLegacyNodesStayDense(t *testing.T) {
+	g := graph.Ring(4)
+	legacy := &countingLegacy{}
+	nodes := []Node{legacy, &tickerNode{every: 50, stops: 1}, &spinnerHalting{at: 20}, &spinnerHalting{at: 20}}
+	net, err := NewNetwork(g, nodes, Options{MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, err := net.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.RoundsSkipped != 0 {
+		t.Fatalf("skipped %d rounds with a legacy node live", counters.RoundsSkipped)
+	}
+	if legacy.rounds < 20 {
+		t.Fatalf("legacy node ran only %d rounds", legacy.rounds)
+	}
+}
+
+type countingLegacy struct{ rounds int }
+
+func (c *countingLegacy) Init(ctx *Context) {}
+func (c *countingLegacy) Round(ctx *Context, inbox []Envelope) {
+	c.rounds++
+	if c.rounds >= 30 {
+		ctx.Halt()
+	}
+}
+
+type spinnerHalting struct{ at int64 }
+
+func (s *spinnerHalting) Init(ctx *Context) {}
+func (s *spinnerHalting) Round(ctx *Context, inbox []Envelope) {
+	if ctx.Round() >= s.at {
+		ctx.Halt()
+	}
+}
+
+// pingPongNode bounces a token to its peer forever: pure message-driven
+// steady-state traffic for the allocation test.
+type pingPongNode struct{ peer graph.NodeID }
+
+func (p *pingPongNode) Init(ctx *Context) {
+	ctx.WakeEvery(0)
+	if ctx.ID()%2 == 0 {
+		ctx.Send(p.peer, wire.Msg(wire.KindToken, 1))
+	}
+}
+func (p *pingPongNode) Round(ctx *Context, inbox []Envelope) {
+	for range inbox {
+		ctx.Send(p.peer, wire.Msg(wire.KindToken, 1))
+	}
+}
+
+// TestPerRoundDeliveryZeroAllocs pins the engine's steady state at exactly
+// zero allocations per round: inbox buckets, outbox buffers, the bandwidth
+// stamps and the wake heap are all recycled.
+func TestPerRoundDeliveryZeroAllocs(t *testing.T) {
+	g := graph.Ring(64)
+	nodes := make([]Node, g.N())
+	for v := 0; v < g.N(); v++ {
+		peer := graph.NodeID((v + 1) % g.N())
+		if v%2 == 1 {
+			peer = graph.NodeID((v - 1 + g.N()) % g.N())
+		}
+		nodes[v] = &pingPongNode{peer: peer}
+	}
+	net, err := NewNetwork(g, nodes, Options{MaxRounds: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, exec, _ := net.newRun(1)
+	if err := exec.step(0, true); err != nil {
+		t.Fatal(err)
+	}
+	round := int64(0)
+	stepOnce := func() {
+		round++
+		if err := exec.step(round, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm up buffers to steady state
+		stepOnce()
+	}
+	if avg := testing.AllocsPerRun(200, stepOnce); avg != 0 {
+		t.Fatalf("per-round delivery allocates %.2f times per round", avg)
+	}
+	if state.live == 0 {
+		t.Fatal("ping-pong network unexpectedly halted")
+	}
+}

@@ -1,17 +1,19 @@
 package congest
 
 import (
+	"slices"
 	"sync"
 
 	"dhc/internal/metrics"
 )
 
-// executor advances all live nodes by one round, either sequentially or with
-// a worker pool. Both produce identical executions: nodes use private RNG
-// streams, outboxes are concatenated in node-id order, and metric merging is
-// order-insensitive. Contexts and the concatenation buffer live in runState
-// and are reused round over round, so a round's allocations are bounded by
-// the messages it delivers, not by n.
+// executor advances the active set of nodes by one round, either
+// sequentially or with a worker pool. Both produce identical executions:
+// the active set is assembled single-threaded before invocation, nodes use
+// private RNG streams, outboxes are concatenated in node-id order, and
+// metric merging is order-insensitive. Contexts, inbox buckets and the
+// concatenation buffer live in runState and are reused round over round, so
+// a round's cost is O(active nodes + delivered messages).
 type executor struct {
 	net      *Network
 	state    *runState
@@ -22,43 +24,97 @@ func newExecutor(net *Network, state *runState, counters *metrics.Counters) *exe
 	return &executor{net: net, state: state, counters: counters}
 }
 
-// step runs round `round` (or the Init phase when isInit). It invokes every
-// live node, merges metrics, and delivers outboxes.
-func (e *executor) step(round int64, isInit bool) error {
-	n := e.net.g.N()
-
-	invoke := func(v int) {
-		if e.state.halted[v] {
-			return
+// buildActive assembles this round's active set, ascending by node id:
+// every live node on the Init round or in dense mode; otherwise the nodes
+// with deliveries, due wake-ups, and (while any exist) legacy-dense nodes.
+func (e *executor) buildActive(round int64, isInit bool) []int32 {
+	s := e.state
+	active := s.active[:0]
+	if isInit || e.net.opts.DenseSweep || s.sched.legacyLive > 0 {
+		// Dense sweep (or mixed legacy network): every live node runs. Due
+		// wake entries are still consumed so the heap stays bounded.
+		for v := 0; v < len(s.halted); v++ {
+			if !s.halted[v] {
+				active = append(active, int32(v))
+			}
 		}
-		ctx := e.state.ctxs[v]
-		ctx.reset(round)
-		if isInit {
-			e.net.nodes[v].Init(ctx)
-		} else {
-			inbox := e.state.inboxes[v]
-			e.state.inboxes[v] = nil
-			e.net.nodes[v].Round(ctx, inbox)
+		if !isInit && !e.net.opts.DenseSweep {
+			due := s.sched.popDue(round, s.halted, s.inActive, s.dueScratch[:0])
+			for _, v := range due {
+				s.inActive[v] = false
+			}
+			s.dueScratch = due[:0]
 		}
+		s.msgActive = s.msgActive[:0]
+		s.active = active
+		return active
 	}
+	for _, v := range s.msgActive {
+		// Receivers are recorded at delivery time, after all halts of the
+		// sending round were merged, so they are live and unique.
+		s.inActive[v] = true
+		active = append(active, v)
+	}
+	s.msgActive = s.msgActive[:0]
+	active = s.sched.popDue(round, s.halted, s.inActive, active)
+	for _, v := range active {
+		s.inActive[v] = false
+	}
+	// Sort ascending so outbox concatenation (and thus delivery order and
+	// inbox sender order) is deterministic and sender-grouped. slices.Sort
+	// does not allocate, keeping the steady-state round allocation-free.
+	slices.Sort(active)
+	s.active = active
+	return active
+}
 
-	if e.net.opts.Workers <= 1 {
-		for v := 0; v < n; v++ {
-			invoke(v)
+// invoke runs one node's Init or Round call; safe to call concurrently for
+// distinct v (it touches only per-node state).
+func (e *executor) invoke(v int32, round int64, isInit bool) {
+	s := e.state
+	if s.halted[v] {
+		return // dense mode lists only live nodes; guard stays for safety
+	}
+	ctx := s.ctxs[v]
+	ctx.reset(round)
+	if isInit {
+		e.net.nodes[v].Init(ctx)
+		return
+	}
+	inbox := s.inboxes[v]
+	e.net.nodes[v].Round(ctx, inbox)
+	// Recycle the bucket: the inbox is documented as valid only during the
+	// Round call, so next round's deliveries may reuse the backing array.
+	s.inboxes[v] = inbox[:0]
+}
+
+// step runs round `round` (or the Init phase when isInit). It invokes the
+// active nodes, merges metrics and wake requests, and delivers outboxes.
+func (e *executor) step(round int64, isInit bool) error {
+	s := e.state
+	active := e.buildActive(round, isInit)
+
+	if e.net.opts.Workers <= 1 || len(active) < 2 {
+		for _, v := range active {
+			e.invoke(v, round, isInit)
 		}
 	} else {
 		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < e.net.opts.Workers; w++ {
+		work := make(chan int32)
+		workers := e.net.opts.Workers
+		if workers > len(active) {
+			workers = len(active)
+		}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for v := range work {
-					invoke(v)
+					e.invoke(v, round, isInit)
 				}
 			}()
 		}
-		for v := 0; v < n; v++ {
+		for _, v := range active {
 			work <- v
 		}
 		close(work)
@@ -66,29 +122,31 @@ func (e *executor) step(round int64, isInit bool) error {
 	}
 
 	// Merge results in node-id order (single-threaded) so outbox
-	// concatenation and error selection are deterministic. halted[v] is
-	// still the pre-round value when node v is reached (it only flips
-	// below, at v itself), so it identifies exactly the skipped nodes.
-	out := e.state.out[:0]
-	for v := 0; v < n; v++ {
-		if e.state.halted[v] {
-			continue
-		}
-		ctx := e.state.ctxs[v]
+	// concatenation and error selection are deterministic. Every listed
+	// node was invoked this round, so its context fields are fresh.
+	out := s.out[:0]
+	eventDriven := !e.net.opts.DenseSweep
+	for _, v := range active {
+		ctx := s.ctxs[v]
 		if ctx.err != nil {
 			return ctx.err
 		}
+		e.counters.Invocations++
 		if ctx.halted {
-			e.state.halted[v] = true
+			s.halted[v] = true
+			s.live--
+			s.sched.noteHalt(v)
+		} else if eventDriven {
+			s.sched.noteInvocation(v, round, ctx)
 		}
 		if ctx.memWords > 0 {
-			e.counters.ObserveMemory(v, ctx.memWords)
+			e.counters.ObserveMemory(int(v), ctx.memWords)
 		}
 		if ctx.workOps > 0 {
-			e.counters.AddWork(v, ctx.workOps)
+			e.counters.AddWork(int(v), ctx.workOps)
 		}
 		out = append(out, ctx.outbox...)
 	}
-	e.state.out = out
-	return e.net.deliver(round, out, e.state, e.counters)
+	s.out = out
+	return e.net.deliver(round, out, s, e.counters)
 }

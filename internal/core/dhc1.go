@@ -46,6 +46,22 @@ func (d *dhc1Node) Init(ctx *congest.Context) {
 	d.stage = 1
 	d.p1 = phase1{cfg: d.cfg}
 	d.p1.init(ctx)
+	d.armWake(ctx)
+}
+
+// armWake declares this node's next self-scheduled invocation to the
+// event-driven simulator; everything else is driven by deliveries.
+func (d *dhc1Node) armWake(ctx *congest.Context) {
+	var w int64
+	switch {
+	case d.stage == 1:
+		w = d.p1.nextWake(ctx.Round())
+	case d.numK == 1:
+		w = ctx.Round() + 1 // one more invocation to halt, as in the dense sweep
+	default:
+		w = d.hp.nextWake(ctx.Round())
+	}
+	ctx.WakeAtOrSleep(w)
 }
 
 func (d *dhc1Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
@@ -66,20 +82,23 @@ func (d *dhc1Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
 				cycindex = d.p1.dra.CycleIndex()
 				succ, pred = d.p1.dra.Succ(), d.p1.dra.Pred()
 			}
-			d.hp.start(d.p1.color, cycindex, int32(d.p1.scopeSize), succ, pred, d.p1.phase2Start)
+			d.hp.start(d.p1.color, cycindex, int32(d.p1.scopeSize), succ, pred,
+				d.p1.treeNeighbors(ctx), d.p1.phase2Start)
 		}
+		d.armWake(ctx)
 		return
 	}
 	if d.numK == 1 {
 		ctx.Halt()
 		return
 	}
-	if ctx.Round() < d.hp.phaseStart {
-		return
+	if ctx.Round() >= d.hp.phaseStart {
+		if d.hp.tick(ctx, inbox, d.p1.leader, d.p1.scopeNbrs) {
+			ctx.Halt()
+			return
+		}
 	}
-	if d.hp.tick(ctx, inbox, d.p1.leader, d.p1.inScope) {
-		ctx.Halt()
-	}
+	d.armWake(ctx)
 }
 
 // RunDHC1 executes DHC1 on g and returns the verified Hamiltonian cycle.

@@ -52,6 +52,19 @@ func (d *dhc2Node) Init(ctx *congest.Context) {
 	d.stage = 1
 	d.p1 = phase1{cfg: d.cfg}
 	d.p1.init(ctx)
+	d.armWake(ctx)
+}
+
+// armWake declares this node's next self-scheduled invocation to the
+// event-driven simulator; everything else is driven by deliveries.
+func (d *dhc2Node) armWake(ctx *congest.Context) {
+	var w int64
+	if d.stage == 1 {
+		w = d.p1.nextWake(ctx.Round())
+	} else {
+		w = d.mp.nextWake(ctx.Round())
+	}
+	ctx.WakeAtOrSleep(w)
 }
 
 func (d *dhc2Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
@@ -65,14 +78,16 @@ func (d *dhc2Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
 			}
 			d.mp.start(d.p1.color, succ, pred, d.p1.phase2Start)
 		}
+		d.armWake(ctx)
 		return
 	}
-	if ctx.Round() < d.mp.levelStart {
-		return // waiting for the common Phase 2 start round
+	if ctx.Round() >= d.mp.levelStart {
+		if d.mp.tick(ctx, inbox) {
+			ctx.Halt()
+			return
+		}
 	}
-	if d.mp.tick(ctx, inbox) {
-		ctx.Halt()
-	}
+	d.armWake(ctx)
 }
 
 // Result carries a successful run's output and cost.

@@ -40,6 +40,12 @@ type hyperPhase struct {
 	// Subcycle context from Phase 1.
 	succ graph.NodeID
 	pred graph.NodeID
+	// tree lists this node's global-BFS-tree neighbors (parent + children).
+	// Rotation and terminal floods are routed over the tree — O(n) messages
+	// per flood instead of O(m) for edge-wise flooding — and settle within
+	// 2·depth <= 2·ecc(root) < B rounds, so the consistency waits that
+	// assume B-bounded settling are unaffected.
+	tree []graph.NodeID
 
 	// Hypernode-selection state.
 	chosenR   int32 // the broadcast index r choosing u_i = node at position r
@@ -112,13 +118,15 @@ func (h *hyperPhase) resetForRestart(round int64) {
 	h.status = dra.Running
 }
 
-// start wires in Phase 1 results. isLeader nodes pick and flood r.
-func (h *hyperPhase) start(color, cycindex, scopeSize int32, succ, pred graph.NodeID, startRound int64) {
+// start wires in Phase 1 results. isLeader nodes pick and flood r; tree is
+// the node's global-BFS-tree neighbor list carrying phase-wide floods.
+func (h *hyperPhase) start(color, cycindex, scopeSize int32, succ, pred graph.NodeID, tree []graph.NodeID, startRound int64) {
 	h.color = color
 	h.cycindex = cycindex
 	h.scopeSize = scopeSize
 	h.succ = succ
 	h.pred = pred
+	h.tree = tree
 	h.phaseStart = startRound
 	h.status = dra.Running
 	if h.maxSteps == 0 {
@@ -127,8 +135,9 @@ func (h *hyperPhase) start(color, cycindex, scopeSize int32, succ, pred graph.No
 }
 
 // tick advances one round; returns true when the phase has terminated at
-// this node. inScope must report same-partition neighbors.
-func (h *hyperPhase) tick(ctx *congest.Context, inbox []congest.Envelope, isLeader bool, inScope func(graph.NodeID) bool) bool {
+// this node. scopeNbrs lists the same-partition neighbors (for the
+// selection flood).
+func (h *hyperPhase) tick(ctx *congest.Context, inbox []congest.Envelope, isLeader bool, scopeNbrs []graph.NodeID) bool {
 	if h.status == dra.Succeeded {
 		return true
 	}
@@ -153,9 +162,9 @@ func (h *hyperPhase) tick(ctx *congest.Context, inbox []congest.Envelope, isLead
 	// Leader floods the hypernode selection at phase start.
 	if round == h.selectStart() && isLeader && h.scopeSize >= 3 {
 		r := int32(ctx.Rand().Intn(int(h.scopeSize))) + 1
-		h.absorbChoice(ctx, r, -1, inScope)
+		h.absorbChoice(ctx, r, -1, scopeNbrs)
 	}
-	h.absorbFloods(ctx, inbox, inScope)
+	h.absorbFloods(ctx, inbox, scopeNbrs)
 
 	if round == h.announceAt() && h.rSeen {
 		h.decidePorts()
@@ -194,15 +203,53 @@ func (h *hyperPhase) tick(ctx *congest.Context, inbox []congest.Envelope, isLead
 	return h.status == dra.Succeeded
 }
 
+// nextWake declares the hypernode phase's wake-up discipline: the leader
+// floods the selection at selectStart, ports announce themselves at
+// announceAt, the acting exit port probes on its own timer, and a failed
+// session restarts at the commonly computed restart round. Pool building,
+// flood forwarding and probe handling are message-driven. Returns 0 when
+// only messages (or the embedder's halt) can advance this node.
+func (h *hyperPhase) nextWake(now int64) int64 {
+	switch h.status {
+	case dra.Succeeded:
+		return 0
+	case dra.Failed:
+		// Exhausted attempts still need one more tick to report terminal
+		// (and make the embedder halt); a restartable failure needs a tick
+		// to compute restartAt and then the restart round itself.
+		if h.attempts+1 >= maxHyperAttempts || h.restartAt == 0 || h.restartAt <= now {
+			return now + 1
+		}
+		return h.restartAt
+	}
+	if now < h.selectStart() {
+		return h.selectStart()
+	}
+	if now < h.announceAt() {
+		return h.announceAt()
+	}
+	if h.amActor {
+		w := h.actAfter
+		if d := h.draStartsAt(); d > w {
+			w = d
+		}
+		if w <= now {
+			w = now + 1
+		}
+		return w
+	}
+	return 0
+}
+
 // absorbFloods handles the r-selection flood, hyperpath rotations, and
 // terminal floods. Rotation and terminal floods are global: every node
 // forwards them (watermark dedup) and ports additionally apply them.
-func (h *hyperPhase) absorbFloods(ctx *congest.Context, inbox []congest.Envelope, inScope func(graph.NodeID) bool) {
+func (h *hyperPhase) absorbFloods(ctx *congest.Context, inbox []congest.Envelope, scopeNbrs []graph.NodeID) {
 	for _, env := range inbox {
 		switch env.Msg.Kind {
 		case wire.KindSizeAnnounce:
 			if env.Msg.Arg(1) == tagPhase2DRA && !h.rSeen {
-				h.absorbChoice(ctx, env.Msg.Arg(0), env.From, inScope)
+				h.absorbChoice(ctx, env.Msg.Arg(0), env.From, scopeNbrs)
 			}
 		case wire.KindRotation:
 			step := int64(env.Msg.Arg(2))
@@ -210,7 +257,7 @@ func (h *hyperPhase) absorbFloods(ctx *congest.Context, inbox []congest.Envelope
 				continue
 			}
 			h.lastRotStep = step
-			forwardAll(ctx, env.Msg, env.From)
+			h.forwardTree(ctx, env.Msg, env.From)
 			h.applyHypRotation(env.Msg.Arg(0), env.Msg.Arg(1), step, int64(env.Msg.Arg(3)))
 		case wire.KindSuccess:
 			if env.Msg.Arg(1) != tagPhase2DRA || h.terminalSeen {
@@ -218,7 +265,7 @@ func (h *hyperPhase) absorbFloods(ctx *congest.Context, inbox []congest.Envelope
 			}
 			h.terminalSeen = true
 			h.terminalRound = int64(env.Msg.Arg(3))
-			forwardAll(ctx, env.Msg, env.From)
+			h.forwardTree(ctx, env.Msg, env.From)
 			if env.Msg.Arg(0) == 1 {
 				h.status = dra.Succeeded
 			} else {
@@ -228,11 +275,11 @@ func (h *hyperPhase) absorbFloods(ctx *congest.Context, inbox []congest.Envelope
 	}
 }
 
-func (h *hyperPhase) absorbChoice(ctx *congest.Context, r int32, from graph.NodeID, inScope func(graph.NodeID) bool) {
+func (h *hyperPhase) absorbChoice(ctx *congest.Context, r int32, from graph.NodeID, scopeNbrs []graph.NodeID) {
 	h.rSeen = true
 	h.chosenR = r
-	for _, nb := range ctx.Neighbors() {
-		if nb != from && inScope(nb) {
+	for _, nb := range scopeNbrs {
+		if nb != from {
 			ctx.Send(nb, wire.Msg(wire.KindSizeAnnounce, r, tagPhase2DRA))
 		}
 	}
@@ -321,7 +368,7 @@ func (h *hyperPhase) handleProbe(ctx *congest.Context, prober graph.NodeID, pos 
 		h.status = dra.Succeeded
 		h.terminalSeen = true
 		h.terminalRound = ctx.Round()
-		forwardAll(ctx, wire.Msg(wire.KindSuccess, 1, tagPhase2DRA,
+		h.forwardTree(ctx, wire.Msg(wire.KindSuccess, 1, tagPhase2DRA,
 			int32(h.steps), int32(ctx.Round())), -1)
 	case h.hypIdx == 0:
 		// Extension: this port becomes the entry; the twin is the exit.
@@ -335,7 +382,7 @@ func (h *hyperPhase) handleProbe(ctx *congest.Context, prober graph.NodeID, pos 
 		h.steps = stepsBefore + 1
 		h.lastRotStep = h.steps
 		rot := wire.Msg(wire.KindRotation, pos, h.hypIdx, int32(h.steps), int32(ctx.Round()))
-		forwardAll(ctx, rot, -1)
+		h.forwardTree(ctx, rot, -1)
 		h.applyHypRotation(pos, h.hypIdx, h.steps, ctx.Round())
 	default:
 		// Probe landed on an occupied entry port: reject and let the
@@ -351,7 +398,7 @@ func (h *hyperPhase) act(ctx *congest.Context) {
 		h.status = dra.Failed
 		h.terminalSeen = true
 		h.terminalRound = ctx.Round()
-		forwardAll(ctx, wire.Msg(wire.KindSuccess, 0, tagPhase2DRA,
+		h.forwardTree(ctx, wire.Msg(wire.KindSuccess, 0, tagPhase2DRA,
 			int32(h.steps), int32(ctx.Round())), -1)
 		return
 	}
@@ -373,8 +420,11 @@ func (h *hyperPhase) removeFromPool(v graph.NodeID) {
 	}
 }
 
-func forwardAll(ctx *congest.Context, m wire.Message, except graph.NodeID) {
-	for _, nb := range ctx.Neighbors() {
+// forwardTree relays a phase-wide flood along the global BFS tree (skipping
+// the edge it arrived on). A tree has no cycles, so every node receives each
+// flood exactly once and the watermark dedup is belt and braces only.
+func (h *hyperPhase) forwardTree(ctx *congest.Context, m wire.Message, except graph.NodeID) {
+	for _, nb := range h.tree {
 		if nb != except {
 			ctx.Send(nb, m)
 		}

@@ -33,8 +33,14 @@ type mergePhase struct {
 
 	color   int32
 	nbColor map[graph.NodeID]int32
-	succ    graph.NodeID
-	pred    graph.NodeID
+	// scopeNbrs/partnerNbrs cache the same-color and partner-color neighbor
+	// lists for this level (neighbor-list order), rebuilt from the level's
+	// color exchange so the flood hot paths iterate flat slices instead of
+	// filtering every neighbor through a map lookup.
+	scopeNbrs   []graph.NodeID
+	partnerNbrs []graph.NodeID
+	succ        graph.NodeID
+	pred        graph.NodeID
 
 	level      int32
 	levelStart int64
@@ -107,6 +113,8 @@ func (m *mergePhase) start(color int32, succ, pred graph.NodeID, startRound int6
 
 func (m *mergePhase) resetLevel() {
 	m.nbColor = make(map[graph.NodeID]int32)
+	m.scopeNbrs = m.scopeNbrs[:0]
+	m.partnerNbrs = m.partnerNbrs[:0]
 	m.pendingProbe = probe{}
 	m.confirmedSucc = false
 	m.confirmedPred = false
@@ -155,6 +163,37 @@ func (m *mergePhase) partnerScope(nb graph.NodeID) bool {
 	return c == m.color-1
 }
 
+// nextWake declares the merge phase's wake-up discipline: within each level
+// every node performs empty-inbox work at exactly three offsets — the color
+// exchange at +0, the bridge commit at +6+B (the winning active node acts on
+// its flooded minimum without necessarily receiving anything that round),
+// and the level advance at the final offset (every node halves its color
+// and re-arms, messages or not). All other offsets only react to deliveries.
+// Returns 0 once all levels completed.
+func (m *mergePhase) nextWake(now int64) int64 {
+	if m.level >= m.levels() {
+		// Already terminal (K = 1 has zero levels): one more tick at or
+		// after the phase start reports completion so the embedder halts,
+		// exactly when the dense sweep would.
+		if now < m.levelStart {
+			return m.levelStart
+		}
+		return now + 1
+	}
+	if now < m.levelStart {
+		return m.levelStart
+	}
+	off := now - m.levelStart
+	for _, o := range [...]int64{0, 6 + m.B, m.levelRounds() - 1} {
+		if off < o {
+			return m.levelStart + o
+		}
+	}
+	// Past the final offset without having advanced (the caller invoked us
+	// before ticking this round); run next round to catch up.
+	return now + 1
+}
+
 // tick advances the merge phase one round; the caller must only invoke it
 // for rounds >= the phase start. It returns true when all levels completed.
 func (m *mergePhase) tick(ctx *congest.Context, inbox []congest.Envelope) bool {
@@ -173,13 +212,18 @@ func (m *mergePhase) tick(ctx *congest.Context, inbox []congest.Envelope) bool {
 				m.nbColor[env.From] = env.Msg.Arg(0)
 			}
 		}
+		for _, nb := range ctx.Neighbors() {
+			if m.inScope(nb) {
+				m.scopeNbrs = append(m.scopeNbrs, nb)
+			} else if m.partnerScope(nb) {
+				m.partnerNbrs = append(m.partnerNbrs, nb)
+			}
+		}
 		if m.alive && m.activeThisLevel() {
 			// Algorithm 3 line 7: announce the cycle edge (v, succ(v))
 			// to every partner-colored neighbor.
-			for _, nb := range ctx.Neighbors() {
-				if m.partnerScope(nb) {
-					ctx.Send(nb, wire.Msg(wire.KindVerify, int32(m.succ)))
-				}
+			for _, nb := range m.partnerNbrs {
+				ctx.Send(nb, wire.Msg(wire.KindVerify, int32(m.succ)))
 			}
 		}
 	case off == 2:
@@ -439,8 +483,8 @@ func (m *mergePhase) applyReverse(ctx *congest.Context, msg wire.Message) {
 }
 
 func (m *mergePhase) floodScope(ctx *congest.Context, msg wire.Message, except graph.NodeID) {
-	for _, nb := range ctx.Neighbors() {
-		if nb == except || !m.inScope(nb) {
+	for _, nb := range m.scopeNbrs {
+		if nb == except {
 			continue
 		}
 		ctx.Send(nb, msg)

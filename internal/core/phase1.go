@@ -62,6 +62,11 @@ type phase1 struct {
 
 	color   int32
 	nbColor map[graph.NodeID]int32
+	// scopeNbrs caches the in-scope (same-color) neighbor list in
+	// neighbor-list order once colors are known; every scoped flood
+	// iterates it directly instead of filtering the full neighbor list
+	// through a map lookup, which profiling showed dominated flood cost.
+	scopeNbrs []graph.NodeID
 
 	electBest graph.NodeID
 	leader    bool
@@ -124,6 +129,15 @@ func (p *phase1) tick(ctx *congest.Context, inbox []congest.Envelope) bool {
 	for _, env := range inbox {
 		if env.Msg.Kind == wire.KindColor {
 			p.nbColor[env.From] = env.Msg.Arg(0)
+		}
+	}
+	if round == p.electStart() {
+		// All colors are in (announced at Init, delivered round 1): cache
+		// the in-scope neighbor list for the scoped flood hot paths.
+		for _, nb := range ctx.Neighbors() {
+			if c, ok := p.nbColor[nb]; ok && c == p.color {
+				p.scopeNbrs = append(p.scopeNbrs, nb)
+			}
 		}
 	}
 
@@ -203,6 +217,42 @@ func (p *phase1) tickDRA(ctx *congest.Context, inbox []congest.Envelope) bool {
 	return false
 }
 
+// nextWake returns the next round this node must run even without incoming
+// messages, declaring Phase 1's wake-up discipline for the event-driven
+// simulator: each phase boundary performs empty-inbox work at every node
+// (start the scoped election, create the partition BFS, seed the size
+// convergecast, construct the DRA state), the DRA head acts on its own
+// timer, and a failed partition restarts its session at the commonly
+// computed restart round. Everything in between — flood absorption, BFS
+// adoption, convergecast propagation, barrier traffic — is message-driven.
+// Returns 0 when only messages can advance this node.
+func (p *phase1) nextWake(now int64) int64 {
+	switch {
+	case now < p.electStart():
+		return p.electStart()
+	case now < p.scopeBFSStart():
+		return p.scopeBFSStart()
+	case now < p.countStart():
+		return p.countStart()
+	case now < p.draStart():
+		return p.draStart()
+	}
+	if p.dra == nil {
+		return now + 1 // DRA state materializes on the next invocation
+	}
+	if p.dra.Status() == dra.Failed && !p.arrived {
+		// Waiting out the quiet period before a session restart: the
+		// restart round is set on the tick after the failure becomes
+		// visible, and every scope node must run at restartAt to swap in
+		// the fresh session before its first messages arrive.
+		if p.restartAt == 0 || p.restartAt <= now {
+			return now + 1
+		}
+		return p.restartAt
+	}
+	return p.dra.NextWake(now)
+}
+
 func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State {
 	maxSteps := p.cfg.MaxSteps
 	if maxSteps == 0 {
@@ -211,7 +261,7 @@ func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State 
 	return dra.NewState(ctx, dra.Params{
 		ScopeSize:       p.scopeSize,
 		IsInitialHead:   p.leader,
-		InScope:         p.inScope,
+		ScopeNeighbors:  p.scopeNbrs,
 		BroadcastRounds: p.cfg.B,
 		StartRound:      startRound,
 		Tag:             tagPhase1DRA + int32(p.attempts),
@@ -220,10 +270,8 @@ func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State 
 }
 
 func (p *phase1) sendCandidates(ctx *congest.Context) {
-	for _, nb := range ctx.Neighbors() {
-		if p.inScope(nb) {
-			ctx.Send(nb, wire.Msg(wire.KindCandidate, int32(p.electBest)))
-		}
+	for _, nb := range p.scopeNbrs {
+		ctx.Send(nb, wire.Msg(wire.KindCandidate, int32(p.electBest)))
 	}
 }
 
@@ -260,6 +308,20 @@ func (p *phase1) memoryWords() int64 {
 		words += p.dra.MemoryWords()
 	}
 	return words
+}
+
+// treeNeighbors returns this node's global-BFS-tree neighbor list (parent,
+// then children) for phase-wide flood routing: a tree flood costs O(n)
+// messages instead of O(m) and settles within 2·depth <= 2·ecc(root) < B
+// rounds. The root (its own parent) and unadopted nodes contribute only
+// their children.
+func (p *phase1) treeNeighbors(ctx *congest.Context) []graph.NodeID {
+	t := p.globalBFS
+	nbrs := make([]graph.NodeID, 0, len(t.Children)+1)
+	if t.Adopted() && t.Parent != ctx.ID() {
+		nbrs = append(nbrs, t.Parent)
+	}
+	return append(nbrs, t.Children...)
 }
 
 // succeeded reports whether this node's partition completed its subcycle.

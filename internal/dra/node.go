@@ -45,12 +45,20 @@ func (d *Node) Init(ctx *congest.Context) {
 	d.state = NewState(ctx, Params{
 		ScopeSize:       ctx.N(),
 		IsInitialHead:   ctx.ID() == 0,
-		InScope:         func(graph.NodeID) bool { return true },
+		ScopeNeighbors:  ctx.Neighbors(),
 		BroadcastRounds: b,
 		StartRound:      1,
 		Tag:             1,
 		MaxSteps:        d.opts.MaxSteps,
 	})
+	d.armWake(ctx)
+}
+
+// armWake declares the event-driven wake-up discipline: DRA nodes are
+// message-driven except for the head, which must act at its own initiative
+// once its consistency wait elapses.
+func (d *Node) armWake(ctx *congest.Context) {
+	ctx.WakeAtOrSleep(d.state.NextWake(ctx.Round()))
 }
 
 // Round implements congest.Node.
@@ -60,7 +68,9 @@ func (d *Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
 		// Keep forwarding the terminal broadcast for one round; the
 		// scoped broadcaster already forwarded on receipt, so halt now.
 		ctx.Halt()
+		return
 	}
+	d.armWake(ctx)
 }
 
 // Result is the outcome of a standalone run.

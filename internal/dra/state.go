@@ -48,8 +48,10 @@ type Params struct {
 	ScopeSize int
 	// IsInitialHead designates the single starting node.
 	IsInitialHead bool
-	// InScope reports whether a neighbor participates in this scope.
-	InScope func(graph.NodeID) bool
+	// ScopeNeighbors lists this node's in-scope neighbors in neighbor-list
+	// order; the slice is retained (read-only) for flood forwarding, so one
+	// precomputed list serves every session.
+	ScopeNeighbors []graph.NodeID
 	// BroadcastRounds is the consistency wait after a rotation; it must be
 	// an upper bound on the scope diameter.
 	BroadcastRounds int64
@@ -85,6 +87,7 @@ type State struct {
 	terminalSeen  bool  // success/failure flood already forwarded
 	terminalRound int64 // round stamped into the terminal flood
 
+	scope  []graph.NodeID // in-scope neighbors (shared, read-only)
 	unused []graph.NodeID
 	steps  int64
 	status Status
@@ -103,11 +106,8 @@ func NewState(ctx *congest.Context, p Params) *State {
 		lastSent: -1,
 		status:   Running,
 	}
-	for _, nb := range ctx.Neighbors() {
-		if p.InScope(nb) {
-			s.unused = append(s.unused, nb)
-		}
-	}
+	s.scope = p.ScopeNeighbors
+	s.unused = append(s.unused, s.scope...)
 	if p.IsInitialHead {
 		s.cycindex = 1
 		s.isHead = true
@@ -131,6 +131,24 @@ func (s *State) Pred() graph.NodeID { return s.pred }
 
 // Steps returns this node's view of the instance step count.
 func (s *State) Steps() int64 { return s.steps }
+
+// NextWake returns the next round this node must be invoked even if no
+// message arrives — the head's action round — or 0 when the node is purely
+// message-driven (non-heads only react to progress messages and floods, and
+// terminal states never act again). Embedders call it after Tick to declare
+// the wake-up discipline of the event-driven simulator; a head's actAfter
+// always lies in the future at the end of a Tick, because acting clears
+// headship and a rotation's consistency wait outlasts the flood that
+// announces it.
+func (s *State) NextWake(now int64) int64 {
+	if s.status != Running || !s.isHead {
+		return 0
+	}
+	if s.actAfter > now {
+		return s.actAfter
+	}
+	return now + 1
+}
 
 // TerminalRound returns the round at which the terminal (success or failure)
 // flood was originated; every node of the scope sees the same value, so
@@ -200,8 +218,8 @@ func (s *State) originate(ctx *congest.Context, m wire.Message) {
 }
 
 func (s *State) forwardScope(ctx *congest.Context, m wire.Message, except graph.NodeID) {
-	for _, nb := range ctx.Neighbors() {
-		if nb == except || !s.p.InScope(nb) {
+	for _, nb := range s.scope {
+		if nb == except {
 			continue
 		}
 		ctx.Send(nb, m)

@@ -14,8 +14,20 @@ import (
 // concurrent use; the parallel executor merges per-worker counters at round
 // barriers.
 type Counters struct {
-	// Rounds is the number of synchronous CONGEST rounds consumed.
+	// Rounds is the number of synchronous CONGEST rounds consumed. The
+	// event-driven exact engine charges skipped quiet rounds here too, so
+	// Rounds is identical between the event-driven schedule and the dense
+	// sweep.
 	Rounds int64
+	// RoundsSkipped is the subset of Rounds the event-driven engine charged
+	// without executing (no messages in flight, no wake-up due). Zero under
+	// the dense sweep; it meters how much of a run's round budget is quiet
+	// time.
+	RoundsSkipped int64
+	// Invocations counts node program calls (Init + Round). The dense sweep
+	// pays ~Rounds*n of these; the event-driven engine pays only for active
+	// nodes, which is the O(active + messages) claim made measurable.
+	Invocations int64
 	// Steps counts algorithm-level steps: one rotation or one path
 	// extension of a rotation algorithm (the unit of Theorem 2), or one
 	// merge operation in DHC2 Phase 2.
@@ -71,6 +83,8 @@ func (c *Counters) AddWork(v int, ops int64) {
 // Per-node slices must have equal length.
 func (c *Counters) Merge(other *Counters) {
 	c.Rounds += other.Rounds
+	c.RoundsSkipped += other.RoundsSkipped
+	c.Invocations += other.Invocations
 	c.Steps += other.Steps
 	c.Messages += other.Messages
 	c.Bits += other.Bits

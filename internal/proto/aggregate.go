@@ -34,7 +34,10 @@ func NewCounter(tree *BFSState, ownValue int64, tag int32) *Counter {
 
 // Tick processes one round. Call every round (with that round's inbox) from
 // the first round after the tree is final until Total >= 0 at every node;
-// that takes at most 2*depth+1 rounds.
+// that takes at most 2*depth+1 rounds. Only the first call performs
+// empty-inbox work (a childless node reports its own value unprompted), so
+// under event-driven execution the embedder schedules a wake-up for the
+// starting round and lets deliveries drive the rest.
 func (c *Counter) Tick(ctx *congest.Context, inbox []congest.Envelope) {
 	for _, env := range inbox {
 		switch env.Msg.Kind {

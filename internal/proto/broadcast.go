@@ -15,6 +15,11 @@ import (
 // The DHC algorithms use scoped broadcasts for the rotation(h, j)
 // renumbering messages inside a partition and for bridge announcements
 // during merging.
+//
+// The broadcaster is fully message-driven (Absorb with an empty inbox is a
+// no-op), so embedders running under the event-driven simulator need no
+// wake-ups on its behalf — Originate happens on the originator's own
+// schedule and forwarding happens on delivery.
 type ScopedBroadcaster struct {
 	inScope func(graph.NodeID) bool
 	seen    map[[4]int32]bool

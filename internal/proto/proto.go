@@ -3,6 +3,16 @@
 // election by minimum-id flooding, and BFS-tree construction. All primitives
 // run in the CONGEST model via package congest and are written as embeddable
 // state machines so algorithm nodes can compose them.
+//
+// Activity contract (for the event-driven simulator): every machine in this
+// package is message-driven after its start call — an Absorb/Tick with an
+// empty inbox is a no-op — with exactly two empty-inbox obligations the
+// embedder must cover with congest.Context.WakeAt wake-ups: the round a
+// machine is started in (Flooder.Start, BFSState.Start, the first
+// Counter.Tick, which sends a leaf's count upward unprompted), and any
+// deadline the embedder itself imposes (e.g. "read Leader after D rounds").
+// Barrier.Arrive is driven by the embedder's own progress and so needs no
+// wake-up of its own.
 package proto
 
 import (

@@ -83,6 +83,7 @@ func (u *node) Init(ctx *congest.Context) {
 	u.succ = -1
 	u.route = make(map[graph.NodeID]graph.NodeID)
 	u.childQ = make(map[graph.NodeID][]wire.Message)
+	u.armWake(ctx)
 }
 
 func (u *node) Round(ctx *congest.Context, inbox []congest.Envelope) {
@@ -111,6 +112,42 @@ func (u *node) Round(ctx *congest.Context, inbox []congest.Envelope) {
 		u.tickUpcast(ctx, inbox)
 	}
 	u.observeMemory(ctx)
+	if !ctx.Halted() {
+		u.armWake(ctx)
+	}
+}
+
+// armWake declares the wake-up discipline: the three phase boundaries
+// (tree construction, sample pick + convergecast seed, upcast start)
+// perform empty-inbox work at every node, and the pipeline phase keeps a
+// node live while it has queued traffic to forward — or, at the root, a
+// solve still pending — since pipelined sends happen one per round without
+// any triggering delivery. Between those points the node is message-driven.
+func (u *node) armWake(ctx *congest.Context) {
+	round := ctx.Round()
+	switch {
+	case round < u.electEnd():
+		ctx.WakeAt(u.electEnd())
+	case round < u.countStart():
+		ctx.WakeAt(u.countStart())
+	case round < u.upcastAt():
+		ctx.WakeAt(u.upcastAt())
+	default:
+		busy := len(u.queue) > 0 || (u.isRoot(ctx) && !u.solved)
+		if !busy {
+			for _, q := range u.childQ {
+				if len(q) > 0 {
+					busy = true
+					break
+				}
+			}
+		}
+		if busy {
+			ctx.WakeAt(round + 1)
+		} else {
+			ctx.WakeEvery(0) // waiting on deliveries only
+		}
+	}
 }
 
 func (u *node) isRoot(ctx *congest.Context) bool {

@@ -187,18 +187,33 @@ func (c Codec) Bits(m Message) int64 {
 	return kindBits + int64(m.NArgs)*int64(c.IDBits)
 }
 
-// Encode serializes m to bytes: kind, narg count, then each argument as a
-// 4-byte big-endian value. The byte form is used for transcript dumps and
+// MaxEncodedLen is the largest wire form of any message: kind + arg count +
+// maxArgs 4-byte arguments. Size reusable buffers for AppendEncode with it.
+const MaxEncodedLen = 2 + 4*maxArgs
+
+// EncodedLen returns the byte length of m's wire form.
+func (m Message) EncodedLen() int { return 2 + 4*int(m.NArgs) }
+
+// AppendEncode appends m's wire form — kind, arg count, then each argument
+// as a 4-byte big-endian value — to dst and returns the extended slice. It
+// is the zero-allocation fast path: when dst has spare capacity (at least
+// MaxEncodedLen), no allocation occurs, so a transcript writer reusing one
+// buffer encodes at steady state without garbage.
+func (c Codec) AppendEncode(dst []byte, m Message) []byte {
+	dst = append(dst, byte(m.Kind), m.NArgs)
+	for i := 0; i < int(m.NArgs); i++ {
+		a := uint32(m.Args[i])
+		dst = append(dst, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	}
+	return dst
+}
+
+// Encode serializes m to a fresh buffer (see AppendEncode for the
+// allocation-free form). The byte form is used for transcript dumps and
 // fidelity tests; the simulator itself accounts sizes with Bits, which
 // reflects the information-theoretic width rather than byte padding.
 func (c Codec) Encode(m Message) []byte {
-	buf := make([]byte, 2+4*int(m.NArgs))
-	buf[0] = byte(m.Kind)
-	buf[1] = m.NArgs
-	for i := 0; i < int(m.NArgs); i++ {
-		binary.BigEndian.PutUint32(buf[2+4*i:], uint32(m.Args[i]))
-	}
-	return buf
+	return c.AppendEncode(make([]byte, 0, m.EncodedLen()), m)
 }
 
 // Decode parses the Encode format.

@@ -121,3 +121,67 @@ func TestDecodeErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendEncodeMatchesEncode pins the fast path to the allocating form.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	c := NewCodec(1024)
+	buf := make([]byte, 0, MaxEncodedLen)
+	for _, m := range []Message{
+		Msg(KindSuccess),
+		Msg(KindProgress, 7),
+		Msg(KindRotation, 1, 2, 3, 4),
+		Msg(KindVerified, -1, 1<<30, 0),
+	} {
+		want := c.Encode(m)
+		got := c.AppendEncode(buf[:0], m)
+		if string(got) != string(want) {
+			t.Fatalf("AppendEncode(%v) = %v, Encode = %v", m, got, want)
+		}
+		if m.EncodedLen() != len(want) {
+			t.Fatalf("EncodedLen(%v) = %d, encoded %d bytes", m, m.EncodedLen(), len(want))
+		}
+	}
+}
+
+// TestCodecFastPathZeroAllocs pins the steady-state allocation count of the
+// encode/decode fast path at exactly zero.
+func TestCodecFastPathZeroAllocs(t *testing.T) {
+	c := NewCodec(1 << 20)
+	m := Msg(KindRotation, 9, 4, 123, 77)
+	buf := make([]byte, 0, MaxEncodedLen)
+	encoded := c.Encode(m)
+	if avg := testing.AllocsPerRun(1000, func() {
+		buf = c.AppendEncode(buf[:0], m)
+	}); avg != 0 {
+		t.Fatalf("AppendEncode allocates %.1f times per op", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		got, err := c.Decode(encoded)
+		if err != nil || got.Kind != m.Kind {
+			t.Fatal("bad decode")
+		}
+	}); avg != 0 {
+		t.Fatalf("Decode allocates %.1f times per op", avg)
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	c := NewCodec(1 << 20)
+	m := Msg(KindRotation, 9, 4, 123, 77)
+	buf := make([]byte, 0, MaxEncodedLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = c.AppendEncode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := NewCodec(1 << 20)
+	encoded := c.Encode(Msg(KindRotation, 9, 4, 123, 77))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(encoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
