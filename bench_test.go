@@ -1,4 +1,4 @@
-package dhc
+package dhc_test
 
 // Benchmark targets, one per experiment of DESIGN.md's per-experiment index.
 // Each bench regenerates (a slice of) the corresponding table/series; run
@@ -10,6 +10,7 @@ import (
 	"sort"
 	"testing"
 
+	"dhc"
 	"dhc/internal/bench"
 	"dhc/internal/congest"
 	"dhc/internal/core"
@@ -142,7 +143,7 @@ func BenchmarkE7_MemoryBalance(b *testing.B) {
 	g := graph.GNP(240, 0.75, rng.New(17))
 	b.Run("dhc2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := Solve(g, AlgorithmDHC2, Options{Seed: uint64(i), NumColors: 6})
+			res, err := dhc.Solve(g, dhc.AlgorithmDHC2, dhc.Options{Seed: uint64(i), NumColors: 6})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -152,7 +153,7 @@ func BenchmarkE7_MemoryBalance(b *testing.B) {
 	})
 	b.Run("upcast", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := Solve(g, AlgorithmUpcast, Options{Seed: uint64(i)})
+			res, err := dhc.Solve(g, dhc.AlgorithmUpcast, dhc.Options{Seed: uint64(i)})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -224,11 +225,11 @@ func BenchmarkA1_EngineAgreement(b *testing.B) {
 	g := graph.GNP(200, 0.8, rng.New(23))
 	var exact, step int64
 	for i := 0; i < b.N; i++ {
-		re, err := Solve(g, AlgorithmDHC2, Options{Seed: uint64(i), NumColors: 8})
+		re, err := dhc.Solve(g, dhc.AlgorithmDHC2, dhc.Options{Seed: uint64(i), NumColors: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
-		rs, err := Solve(g, AlgorithmDHC2, Options{Seed: uint64(i), NumColors: 8, Engine: EngineStep})
+		rs, err := dhc.Solve(g, dhc.AlgorithmDHC2, dhc.Options{Seed: uint64(i), NumColors: 8, Engine: dhc.EngineStep})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,8 +246,8 @@ func BenchmarkA2_ParallelExecutor(b *testing.B) {
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Solve(g, AlgorithmDHC2,
-					Options{Seed: 5, NumColors: 6, Workers: workers}); err != nil {
+				if _, err := dhc.Solve(g, dhc.AlgorithmDHC2,
+					dhc.Options{Seed: 5, NumColors: 6, Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

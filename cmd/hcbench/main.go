@@ -24,7 +24,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -133,27 +132,9 @@ func run() error {
 // benchGrid is the cartesian sweep of the JSON pipeline.
 type benchGrid struct {
 	algos      []dhc.Algorithm
-	engines    []engineMode
+	engines    []bench.EngineMode
 	sizes      []int
 	workerGrid []int
-}
-
-// engineMode is one engine column of the grid: the simulation engine plus,
-// for the exact engine, the scheduling mode (event-driven vs dense oracle).
-type engineMode struct {
-	engine dhc.Engine
-	dense  bool
-}
-
-func (e engineMode) name() string {
-	switch {
-	case e.engine == dhc.EngineStep:
-		return "step"
-	case e.dense:
-		return "exact-dense"
-	default:
-		return "exact"
-	}
 }
 
 type jsonParams struct {
@@ -168,61 +149,23 @@ type jsonParams struct {
 
 func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
 	var g benchGrid
-	for _, s := range splitList(algos) {
-		a, err := dhc.ParseAlgorithm(s)
-		if err != nil {
-			return g, err
-		}
-		g.algos = append(g.algos, a)
-	}
-	for _, s := range splitList(engines) {
-		switch s {
-		case "step":
-			g.engines = append(g.engines, engineMode{engine: dhc.EngineStep})
-		case "exact":
-			g.engines = append(g.engines, engineMode{engine: dhc.EngineExact})
-		case "exact-dense":
-			g.engines = append(g.engines, engineMode{engine: dhc.EngineExact, dense: true})
-		default:
-			return g, fmt.Errorf("unknown engine %q", s)
-		}
-	}
 	var err error
-	if g.sizes, err = parseInts(sizes); err != nil {
+	if g.algos, err = bench.ParseAlgorithms(algos); err != nil {
+		return g, err
+	}
+	if g.engines, err = bench.ParseEngineModes(engines); err != nil {
+		return g, err
+	}
+	if g.sizes, err = bench.ParseInts(sizes); err != nil {
 		return g, fmt.Errorf("bad -sizes: %w", err)
 	}
-	if g.workerGrid, err = parseInts(workerGrid); err != nil {
+	if g.workerGrid, err = bench.ParseInts(workerGrid); err != nil {
 		return g, fmt.Errorf("bad -workerGrid: %w", err)
 	}
 	if len(g.algos) == 0 || len(g.engines) == 0 || len(g.sizes) == 0 || len(g.workerGrid) == 0 {
 		return g, fmt.Errorf("empty pipeline grid")
 	}
 	return g, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range splitList(s) {
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, err
-		}
-		if v < 0 {
-			return nil, fmt.Errorf("negative value %d", v)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 // runJSON executes the benchmark grid and writes the versioned report. Each
@@ -244,7 +187,7 @@ func runJSON(p jsonParams) error {
 					for _, workers := range p.grid.workerGrid {
 						rec := bench.Record{
 							Algo:           algo.String(),
-							Engine:         engine.name(),
+							Engine:         engine.Name(),
 							N:              n,
 							M:              int64(g.M()),
 							P:              pr,
@@ -257,11 +200,11 @@ func runJSON(p jsonParams) error {
 						start := time.Now()
 						res, err := dhc.Solve(g, algo, dhc.Options{
 							Seed:           rec.Seed,
-							Engine:         engine.engine,
+							Engine:         engine.Engine,
 							NumColors:      p.colors,
 							Delta:          p.delta,
 							Workers:        workers,
-							DenseSweep:     engine.dense,
+							DenseSweep:     engine.Dense,
 							BroadcastBound: p.bound,
 						})
 						rec.WallSeconds = time.Since(start).Seconds()
@@ -326,9 +269,9 @@ func printSpeedups(rep *bench.Report, grid benchGrid) {
 					if w == base {
 						continue
 					}
-					if s, ok := rep.Speedup(algo.String(), engine.name(), n, base, w); ok {
+					if s, ok := rep.Speedup(algo.String(), engine.Name(), n, base, w); ok {
 						fmt.Printf("speedup %s/%s n=%d: workers=%d vs %d -> %.2fx\n",
-							algo.String(), engine.name(), n, w, base, s)
+							algo.String(), engine.Name(), n, w, base, s)
 					}
 				}
 			}

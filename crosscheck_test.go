@@ -25,6 +25,7 @@ func crosscheckAlgos() []Algorithm {
 }
 
 func TestCrosscheckEngines(t *testing.T) {
+	skipIfShort(t)
 	for _, n := range []int{64, 128, 256} {
 		g := NewGNP(n, 0.8, uint64(n))
 		k := n / 16
@@ -69,6 +70,7 @@ func TestCrosscheckEngines(t *testing.T) {
 // DHC partitioning exists to avoid; DRA stays covered at n ≤ 256 above.
 // The slack is the same documented constant as the base test.
 func TestCrosscheckEnginesLarge(t *testing.T) {
+	skipIfShort(t)
 	for _, n := range []int{512, 1024} {
 		g := NewGNP(n, 0.8, uint64(n))
 		k := n / 16

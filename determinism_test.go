@@ -112,6 +112,7 @@ func eventVsDenseFingerprint(res *Result) string {
 // while the event-driven runs must actually skip rounds and invoke far
 // fewer nodes, or the engine isn't event-driven at all.
 func TestEventDrivenMatchesDenseSweep(t *testing.T) {
+	skipIfShort(t)
 	g := NewGNP(160, 0.7, 13)
 	for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
 		t.Run(algo.String(), func(t *testing.T) {
@@ -155,6 +156,7 @@ func TestEventDrivenMatchesDenseSweep(t *testing.T) {
 // TestEventDrivenMatchesDenseSweepSingleMachine extends the differential
 // check to the single-instance algorithms (standalone DRA and Upcast).
 func TestEventDrivenMatchesDenseSweepSingleMachine(t *testing.T) {
+	skipIfShort(t)
 	g := NewGNP(200, 0.7, 17)
 	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmUpcast} {
 		t.Run(algo.String(), func(t *testing.T) {
@@ -178,6 +180,7 @@ func TestEventDrivenMatchesDenseSweepSingleMachine(t *testing.T) {
 // TestDeterminismSingleMachine covers the algorithms without a partition
 // phase (DRA, Upcast): repeat runs must be identical for both engines.
 func TestDeterminismSingleMachine(t *testing.T) {
+	skipIfShort(t)
 	g := NewGNP(200, 0.7, 17)
 	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmUpcast} {
 		for _, engine := range []Engine{EngineExact, EngineStep} {

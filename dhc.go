@@ -180,6 +180,73 @@ type Result struct {
 // Hamiltonian cycle.
 var ErrNoHamiltonianCycle = errors.New("dhc: no Hamiltonian cycle found")
 
+// ErrRoundLimit re-exports the exact engine's round-budget sentinel: the run
+// was cut off before terminating. It always arrives wrapped in
+// ErrNoHamiltonianCycle (on a valid input the two are the same verdict), but
+// callers building a failure taxonomy can match it specifically.
+var ErrRoundLimit = congest.ErrRoundLimit
+
+// FailureClass is the taxonomy of Solve outcomes, for Monte Carlo harnesses
+// that aggregate many trials: a genuine negative (no cycle found) is evidence
+// about the algorithm's success probability, a round-limit cut-off is
+// evidence about the round budget, and a usage error is evidence about the
+// caller — conflating them would corrupt all three statistics.
+type FailureClass int
+
+const (
+	// FailureNone means the run produced a verified Hamiltonian cycle.
+	FailureNone FailureClass = iota
+	// FailureNoHC means the run executed to completion but found no
+	// Hamiltonian cycle (restart budgets exhausted, no bridge found, ...).
+	FailureNoHC
+	// FailureRoundLimit means the exact engine hit its round budget before
+	// the algorithm terminated.
+	FailureRoundLimit
+	// FailureError means the run never meaningfully executed: invalid
+	// options, a CONGEST model violation, an infeasible generator request.
+	// Retrying with a new seed cannot help.
+	FailureError
+)
+
+var failureNames = map[FailureClass]string{
+	FailureNone:       "ok",
+	FailureNoHC:       "no_hc",
+	FailureRoundLimit: "round_limit",
+	FailureError:      "error",
+}
+
+// String returns the class's short name ("ok", "no_hc", "round_limit",
+// "error"), the spelling used by the sweep report schema.
+func (f FailureClass) String() string {
+	if s, ok := failureNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("failure(%d)", int(f))
+}
+
+// Classify maps a Solve error to its failure class. A nil error is
+// FailureNone; a round-limit cut-off classifies as FailureRoundLimit even
+// though it is also wrapped in ErrNoHamiltonianCycle.
+func Classify(err error) FailureClass {
+	switch {
+	case err == nil:
+		return FailureNone
+	case errors.Is(err, ErrRoundLimit):
+		return FailureRoundLimit
+	case errors.Is(err, ErrNoHamiltonianCycle):
+		return FailureNoHC
+	default:
+		return FailureError
+	}
+}
+
+// Trial is the single-shot Monte Carlo entry point: one Solve call plus its
+// failure class. The Result is nil exactly when class != FailureNone.
+func Trial(g *Graph, algo Algorithm, opts Options) (*Result, FailureClass, error) {
+	res, err := Solve(g, algo, opts)
+	return res, Classify(err), err
+}
+
 // Solve runs the selected algorithm on g and returns the verified cycle and
 // cost metrics. All randomness derives from opts.Seed.
 func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
@@ -313,11 +380,13 @@ var noCycleErrs = []error{
 }
 
 // wrapNoHC tags genuine no-cycle failures with ErrNoHamiltonianCycle and
-// passes every other error through unchanged.
+// passes every other error through unchanged. The original error stays on
+// the unwrap chain (double %w) so Classify can still distinguish a
+// round-limit cut-off from an ordinary negative.
 func wrapNoHC(err error) error {
 	for _, sentinel := range noCycleErrs {
 		if errors.Is(err, sentinel) {
-			return fmt.Errorf("%w: %v", ErrNoHamiltonianCycle, err)
+			return fmt.Errorf("%w: %w", ErrNoHamiltonianCycle, err)
 		}
 	}
 	return err

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSolveAllAlgorithmsExact(t *testing.T) {
+	skipIfShort(t)
 	g := NewGNP(220, 0.7, 1)
 	for _, algo := range []Algorithm{AlgorithmDRA, AlgorithmDHC1, AlgorithmDHC2, AlgorithmUpcast} {
 		t.Run(algo.String(), func(t *testing.T) {

@@ -2,7 +2,9 @@
 // executions. The CONGEST simulator's fault hook perturbs a fraction of
 // rotation broadcasts; the run either fails outright or any cycle it
 // produces is rejected by verification — it never silently returns a wrong
-// answer.
+// answer. The pinned regression version of this property (more fault
+// patterns, both scheduling modes, DHC1/DHC2 too) lives in fault_test.go at
+// the repository root.
 package main
 
 import (

@@ -1,0 +1,118 @@
+package bench
+
+// Grid-spec parsing shared by the cmd/hcbench benchmark pipeline and the
+// cmd/hcsweep Monte Carlo pipeline: comma-separated list handling plus the
+// algorithm/engine column vocabulary, so both CLIs and both report sections
+// spell configurations identically.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dhc"
+)
+
+// EngineMode is one engine column of a grid: the simulation engine plus, for
+// the exact engine, the scheduling mode (event-driven vs the dense-sweep
+// oracle).
+type EngineMode struct {
+	Engine dhc.Engine
+	Dense  bool
+}
+
+// Name returns the mode's report spelling: "step", "exact" or "exact-dense".
+func (e EngineMode) Name() string {
+	switch {
+	case e.Engine == dhc.EngineStep:
+		return "step"
+	case e.Dense:
+		return "exact-dense"
+	default:
+		return "exact"
+	}
+}
+
+// ParseEngineMode resolves one engine column name.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "step":
+		return EngineMode{Engine: dhc.EngineStep}, nil
+	case "exact":
+		return EngineMode{Engine: dhc.EngineExact}, nil
+	case "exact-dense":
+		return EngineMode{Engine: dhc.EngineExact, Dense: true}, nil
+	default:
+		return EngineMode{}, fmt.Errorf("unknown engine %q", s)
+	}
+}
+
+// ParseEngineModes resolves a comma-separated engine list.
+func ParseEngineModes(s string) ([]EngineMode, error) {
+	var out []EngineMode
+	for _, part := range SplitList(s) {
+		m, err := ParseEngineMode(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseAlgorithms resolves a comma-separated algorithm list.
+func ParseAlgorithms(s string) ([]dhc.Algorithm, error) {
+	var out []dhc.Algorithm
+	for _, part := range SplitList(s) {
+		a, err := dhc.ParseAlgorithm(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseInts parses a comma-separated list of non-negative integers.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range SplitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated list of non-negative floats.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range SplitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %v", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -13,12 +13,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // SchemaVersion identifies the BENCH_<rev>.json layout. Bump it when a field
 // changes meaning or disappears; pure additions are backward compatible and
 // do not require a bump.
-const SchemaVersion = 1
+//
+// v2 added the optional sweep section (per-cell Monte Carlo statistics and
+// scaling fits, written by hcsweep) and allowed a report to carry a sweep
+// section instead of records; every v1 document is also a valid v2 document,
+// so DecodeReport accepts both versions.
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest layout DecodeReport still accepts.
+const minSchemaVersion = 1
 
 // Record is one measured run.
 type Record struct {
@@ -66,6 +75,113 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 }
 
+// Quantiles summarizes one per-trial cost series with nearest-rank order
+// statistics over the cell's successful trials.
+type Quantiles struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	Max int64 `json:"max"`
+}
+
+// NewQuantiles computes nearest-rank quantiles of values (which it sorts in
+// place). An empty series yields the zero Quantiles.
+func NewQuantiles(values []int64) Quantiles {
+	if len(values) == 0 {
+		return Quantiles{}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	rank := func(p float64) int64 {
+		return values[int(p*float64(len(values)-1))]
+	}
+	return Quantiles{P50: rank(0.50), P90: rank(0.90), Max: values[len(values)-1]}
+}
+
+// CellStats is one grid cell of a Monte Carlo sweep: the aggregate of Trials
+// independent (graph, solve) runs of one (family, n, param, algo, engine)
+// configuration. It deliberately carries no wall-clock fields — every field
+// is a pure function of the master seed, which is what lets the sweep
+// pipeline promise byte-identical reports at any worker count.
+type CellStats struct {
+	// Family is the graph family ("gnp", "gnm", "regular").
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	// Param is the family's density knob: the threshold constant c for
+	// gnp/gnm (p = c·ln n / n^delta), the degree d for regular.
+	Param float64 `json:"param"`
+	// Delta is the gnp/gnm threshold exponent (0 for regular).
+	Delta float64 `json:"delta,omitempty"`
+	// P is the derived edge probability (0 for regular).
+	P float64 `json:"p,omitempty"`
+	// Algo and Engine name the solver configuration, with the same
+	// spellings as Record ("dra", ... / "step", "exact", "exact-dense").
+	Algo   string `json:"algo"`
+	Engine string `json:"engine"`
+	// Trials is the cell's trial count; the four outcome counters below
+	// partition it (Successes + FailNoHC + FailRoundLimit + FailError).
+	Trials         int `json:"trials"`
+	Successes      int `json:"successes"`
+	FailNoHC       int `json:"fail_no_hc,omitempty"`
+	FailRoundLimit int `json:"fail_round_limit,omitempty"`
+	FailError      int `json:"fail_error,omitempty"`
+	// SuccessRate is Successes/Trials, the Monte Carlo estimate of the
+	// paper's "w.h.p." success probability at this grid point.
+	SuccessRate float64 `json:"success_rate"`
+	// FirstError samples one failure message (the lowest failed trial), so
+	// a report documents *why* a cell failed without storing every error.
+	FirstError string `json:"first_error,omitempty"`
+	// Rounds/Steps summarize the successful trials' charged costs.
+	Rounds Quantiles `json:"rounds"`
+	Steps  Quantiles `json:"steps"`
+	// Messages/Bits are present for the exact engines only (the step
+	// engine exchanges no messages).
+	Messages *Quantiles `json:"messages,omitempty"`
+	Bits     *Quantiles `json:"bits,omitempty"`
+}
+
+// Key identifies the cell within a grid, independent of cell order. It is
+// both the resume key and the input of the cell's RNG stream derivation.
+func (c *CellStats) Key() string {
+	return fmt.Sprintf("%s/n=%d/param=%g/delta=%g/%s/%s",
+		c.Family, c.N, c.Param, c.Delta, c.Algo, c.Engine)
+}
+
+// ScalingFit is the log-log slope of a cost statistic against n along one
+// (family, param, algo, engine) series of the grid — the empirical scaling
+// exponent the paper's round/step theorems predict.
+type ScalingFit struct {
+	Family string  `json:"family"`
+	Param  float64 `json:"param"`
+	Delta  float64 `json:"delta,omitempty"`
+	Algo   string  `json:"algo"`
+	Engine string  `json:"engine"`
+	// Points is the number of grid sizes with at least one success that
+	// entered the fit; slopes need Points >= 2.
+	Points int `json:"points"`
+	// RoundsSlope and StepsSlope fit median rounds/steps ~ n^slope. Zero
+	// means "no data" (the statistic is not metered for the configuration,
+	// e.g. steps for algorithms that never rotate), never a real fit — a
+	// genuine flat series fits a near-zero but non-zero slope.
+	RoundsSlope float64 `json:"rounds_slope,omitempty"`
+	StepsSlope  float64 `json:"steps_slope,omitempty"`
+}
+
+// SweepSection is the schema-v2 Monte Carlo payload: the grid's per-cell
+// statistics plus the scaling fits across cells. MasterSeed, TrialsPerCell
+// and the solver overrides pin the sweep's determinism contract —
+// re-running the same grid with the same master seed reproduces the section
+// byte for byte at any worker count — and are exactly the fields a resume
+// must match before reusing cells (cell keys do not repeat them).
+type SweepSection struct {
+	MasterSeed    uint64 `json:"master_seed"`
+	TrialsPerCell int    `json:"trials_per_cell"`
+	// NumColors and MaxAttempts record the grid's solver overrides; cells
+	// computed under different overrides are not comparable.
+	NumColors   int          `json:"num_colors,omitempty"`
+	MaxAttempts int          `json:"max_attempts,omitempty"`
+	Cells       []CellStats  `json:"cells"`
+	Fits        []ScalingFit `json:"fits,omitempty"`
+}
+
 // Report is the top-level BENCH_<rev>.json document.
 type Report struct {
 	SchemaVersion int `json:"schema_version"`
@@ -75,7 +191,10 @@ type Report struct {
 	// (notably worker scaling) are only meaningful at NumCPU > 1.
 	GoVersion string   `json:"go_version"`
 	NumCPU    int      `json:"num_cpu"`
-	Records   []Record `json:"records"`
+	Records   []Record `json:"records,omitempty"`
+	// Sweep is the v2 Monte Carlo section (hcsweep); nil for pure
+	// benchmark reports. A report must carry records, a sweep, or both.
+	Sweep *SweepSection `json:"sweep,omitempty"`
 }
 
 // NewReport creates an empty report for the given revision label and host.
@@ -115,18 +234,27 @@ func DecodeReport(data []byte) (*Report, error) {
 }
 
 // Validate checks structural invariants: known schema version, non-empty
-// identity fields, coherent costs. It does NOT fail on OK=false records —
-// a report may legitimately document failures; use FailedRecords for CI
-// gating.
+// identity fields, coherent costs. It does NOT fail on OK=false records or
+// failed sweep trials — a report may legitimately document failures; use
+// FailedRecords (or the sweep's success rates) for CI gating.
 func (r *Report) Validate() error {
-	if r.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("bench: unsupported schema version %d (want %d)", r.SchemaVersion, SchemaVersion)
+	if r.SchemaVersion < minSchemaVersion || r.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("bench: unsupported schema version %d (want %d..%d)",
+			r.SchemaVersion, minSchemaVersion, SchemaVersion)
 	}
 	if r.Rev == "" {
 		return fmt.Errorf("bench: report missing rev")
 	}
-	if len(r.Records) == 0 {
-		return fmt.Errorf("bench: report has no records")
+	if len(r.Records) == 0 && r.Sweep == nil {
+		return fmt.Errorf("bench: report has neither records nor a sweep section")
+	}
+	if r.Sweep != nil && r.SchemaVersion < 2 {
+		return fmt.Errorf("bench: sweep section requires schema version >= 2, got %d", r.SchemaVersion)
+	}
+	if r.Sweep != nil {
+		if err := r.Sweep.validate(); err != nil {
+			return err
+		}
 	}
 	for i, rec := range r.Records {
 		if rec.Algo == "" {
@@ -152,6 +280,44 @@ func (r *Report) Validate() error {
 		}
 		if !rec.OK && rec.Error == "" {
 			return fmt.Errorf("bench: record %d failed without an error message", i)
+		}
+	}
+	return nil
+}
+
+// validate checks the sweep section's cell invariants.
+func (s *SweepSection) validate() error {
+	if len(s.Cells) == 0 {
+		return fmt.Errorf("bench: sweep section has no cells")
+	}
+	seen := make(map[string]bool, len(s.Cells))
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		if c.Family != "gnp" && c.Family != "gnm" && c.Family != "regular" {
+			return fmt.Errorf("bench: sweep cell %d has unknown family %q", i, c.Family)
+		}
+		if c.Algo == "" {
+			return fmt.Errorf("bench: sweep cell %d missing algo", i)
+		}
+		if c.Engine != "exact" && c.Engine != "exact-dense" && c.Engine != "step" {
+			return fmt.Errorf("bench: sweep cell %d has unknown engine %q", i, c.Engine)
+		}
+		if c.N <= 0 {
+			return fmt.Errorf("bench: sweep cell %d has n = %d", i, c.N)
+		}
+		if c.Trials <= 0 {
+			return fmt.Errorf("bench: sweep cell %d has %d trials", i, c.Trials)
+		}
+		if c.Successes+c.FailNoHC+c.FailRoundLimit+c.FailError != c.Trials {
+			return fmt.Errorf("bench: sweep cell %d outcome counts do not partition %d trials", i, c.Trials)
+		}
+		if got, want := c.SuccessRate, float64(c.Successes)/float64(c.Trials); got != want {
+			return fmt.Errorf("bench: sweep cell %d success rate %v inconsistent with %d/%d", i, got, c.Successes, c.Trials)
+		}
+		if key := c.Key(); seen[key] {
+			return fmt.Errorf("bench: duplicate sweep cell %s", key)
+		} else {
+			seen[key] = true
 		}
 	}
 	return nil

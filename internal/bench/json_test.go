@@ -60,7 +60,7 @@ func TestReportValidationRejects(t *testing.T) {
 	}{
 		{"bad-version", func(r *Report) { r.SchemaVersion = 99 }, "schema version"},
 		{"no-rev", func(r *Report) { r.Rev = "" }, "missing rev"},
-		{"no-records", func(r *Report) { r.Records = nil }, "no records"},
+		{"no-records", func(r *Report) { r.Records = nil }, "neither records nor a sweep"},
 		{"bad-engine", func(r *Report) { r.Records[0].Engine = "warp" }, "unknown engine"},
 		{"bad-n", func(r *Report) { r.Records[0].N = 0 }, "has n"},
 		{"ok-with-error", func(r *Report) { r.Records[0].Error = "boom" }, "carries error"},
@@ -85,6 +85,110 @@ func TestDecodeReportRejectsMalformed(t *testing.T) {
 	}
 	if _, err := DecodeReport([]byte(`{"schema_version": 1, "rev": "x", "bogus_field": true, "records": []}`)); err == nil {
 		t.Fatal("unknown field accepted")
+	}
+}
+
+// sampleSweep builds a minimal valid sweep section.
+func sampleSweep() *SweepSection {
+	return &SweepSection{
+		MasterSeed:    7,
+		TrialsPerCell: 10,
+		Cells: []CellStats{{
+			Family: "gnp", N: 256, Param: 1.5, Delta: 0.5, P: 0.5,
+			Algo: "dra", Engine: "step",
+			Trials: 10, Successes: 9, FailNoHC: 1, SuccessRate: 0.9,
+			Rounds: Quantiles{P50: 100, P90: 200, Max: 300},
+		}},
+		Fits: []ScalingFit{{
+			Family: "gnp", Param: 1.5, Delta: 0.5, Algo: "dra", Engine: "step",
+			Points: 2, RoundsSlope: 1.3,
+		}},
+	}
+}
+
+// TestSchemaV1StillDecodes pins backward compatibility: the BENCH_pr2/pr3
+// trajectory files at the repository root are schema v1 and must keep
+// decoding after the v2 bump.
+func TestSchemaV1StillDecodes(t *testing.T) {
+	v1 := []byte(`{"schema_version": 1, "rev": "pr2", "go_version": "go1.22",
+		"num_cpu": 1, "records": [{"algo": "dhc2", "engine": "step", "n": 64,
+		"m": 100, "p": 0.1, "seed": 1, "graph_seed": 1, "workers": 1,
+		"wall_seconds": 0.1, "rounds": 10, "steps": 5,
+		"phase1_rounds": 5, "phase2_rounds": 5, "ok": true}]}`)
+	rep, err := DecodeReport(v1)
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if rep.SchemaVersion != 1 || len(rep.Records) != 1 {
+		t.Fatalf("v1 report mangled: %+v", rep)
+	}
+}
+
+// TestSweepSectionRoundTrip checks a records-free v2 sweep report validates
+// and survives encode/decode.
+func TestSweepSectionRoundTrip(t *testing.T) {
+	r := NewReport("test-rev", "go1.x", 4)
+	r.Sweep = sampleSweep()
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep == nil || len(got.Sweep.Cells) != 1 || got.Sweep.Cells[0].Key() != sampleSweep().Cells[0].Key() {
+		t.Fatalf("sweep section mangled: %+v", got.Sweep)
+	}
+	if got.Sweep.Fits[0].RoundsSlope != 1.3 {
+		t.Fatalf("fit mangled: %+v", got.Sweep.Fits[0])
+	}
+}
+
+// TestSweepValidationRejects drives the sweep-section invariants.
+func TestSweepValidationRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		substr string
+	}{
+		{"v1-with-sweep", func(r *Report) { r.SchemaVersion = 1 }, "requires schema version"},
+		{"no-cells", func(r *Report) { r.Sweep.Cells = nil }, "no cells"},
+		{"bad-family", func(r *Report) { r.Sweep.Cells[0].Family = "smallworld" }, "unknown family"},
+		{"bad-engine", func(r *Report) { r.Sweep.Cells[0].Engine = "warp" }, "unknown engine"},
+		{"bad-n", func(r *Report) { r.Sweep.Cells[0].N = 0 }, "has n"},
+		{"no-trials", func(r *Report) { r.Sweep.Cells[0].Trials = 0 }, "trials"},
+		{"bad-partition", func(r *Report) { r.Sweep.Cells[0].FailNoHC = 5 }, "partition"},
+		{"bad-rate", func(r *Report) { r.Sweep.Cells[0].SuccessRate = 0.5 }, "success rate"},
+		{"dup-cell", func(r *Report) { r.Sweep.Cells = append(r.Sweep.Cells, r.Sweep.Cells[0]) }, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReport("test-rev", "go1.x", 4)
+			r.Sweep = sampleSweep()
+			tc.mutate(r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// TestNewQuantiles checks the nearest-rank order statistics.
+func TestNewQuantiles(t *testing.T) {
+	if q := NewQuantiles(nil); q != (Quantiles{}) {
+		t.Fatalf("empty series: %+v", q)
+	}
+	q := NewQuantiles([]int64{5, 1, 9, 3, 7})
+	if q.P50 != 5 || q.Max != 9 {
+		t.Fatalf("quantiles of 1..9: %+v", q)
+	}
+	if q.P90 < q.P50 || q.P90 > q.Max {
+		t.Fatalf("p90 out of order: %+v", q)
+	}
+	if q := NewQuantiles([]int64{42}); q.P50 != 42 || q.P90 != 42 || q.Max != 42 {
+		t.Fatalf("singleton series: %+v", q)
 	}
 }
 

@@ -48,6 +48,17 @@ func FuzzVerify(f *testing.F) {
 	f.Add(uint8(3), uint16(3), []byte{})
 	f.Add(uint8(6), uint16(4), []byte{0, 0, 1, 2, 3, 4})
 	f.Add(uint8(4), uint16(5), []byte{250, 251, 252, 253})
+	// Known-tricky shapes: the minimum cycle (n = 3, where every length
+	// mistake is off-by-one), a full-length order whose only flaw is one
+	// duplicated vertex (covers the "all present" vs "each once" split), a
+	// correct-length order with exactly one out-of-range id, an
+	// almost-cycle missing only the wrap-around edge check (path order on
+	// a path-shaped byte range), and a one-vertex-short order.
+	f.Add(uint8(0), uint16(6), []byte{0, 1, 2})
+	f.Add(uint8(7), uint16(7), []byte{0, 1, 2, 3, 4, 5, 6, 6, 8, 9})
+	f.Add(uint8(5), uint16(8), []byte{0, 1, 2, 3, 9})
+	f.Add(uint8(6), uint16(9), []byte{1, 2, 3, 4, 5, 6, 7, 8, 0})
+	f.Add(uint8(9), uint16(10), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Fuzz(func(t *testing.T, nRaw uint8, seed uint16, raw []byte) {
 		n := int(nRaw)%64 + 3
 		g := graph.GNP(n, 0.5, rng.New(uint64(seed)))

@@ -1,0 +1,137 @@
+package graph
+
+// Property and fuzz tests for the random-regular generator. The
+// Steger–Wormald pairing is the one generator that can fail at runtime
+// (restart exhaustion) and the one construction path still using the
+// hash-set Builder, so its invariants — exact d-regularity, simplicity,
+// determinism, infeasibility errors — get their own adversarial coverage.
+
+import (
+	"errors"
+	"testing"
+
+	"dhc/internal/rng"
+)
+
+// checkRegularInvariants asserts the full contract of a d-regular sample:
+// every vertex has degree exactly d, the graph is simple (no self-loops —
+// and no duplicate edges, which CSR rows being strictly sorted implies),
+// and the edge count is n·d/2.
+func checkRegularInvariants(t *testing.T, g *Graph, n, d int) {
+	t.Helper()
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	if int(g.M()) != n*d/2 {
+		t.Fatalf("m = %d, want n*d/2 = %d", g.M(), n*d/2)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(NodeID(v)) != d {
+			t.Fatalf("vertex %d degree %d, want %d", v, g.Degree(NodeID(v)), d)
+		}
+		nb := g.Neighbors(NodeID(v))
+		for i, w := range nb {
+			if w == NodeID(v) {
+				t.Fatalf("self-loop at vertex %d", v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("row %d not strictly sorted (duplicate edge?): %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestRandomRegularSimpleGraphInvariants(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{4, 3}, {10, 3}, {31, 4}, {64, 7}, {100, 2}, {20, 0}, {200, 9},
+		// Above half density the generator switches to the complement path
+		// (the direct pairing jams a.s. there — found by FuzzRandomRegular).
+		{18, 15}, {12, 11}, {50, 40},
+	} {
+		g, err := RandomRegular(tc.n, tc.d, rng.New(uint64(tc.n*100+tc.d)))
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		checkRegularInvariants(t, g, tc.n, tc.d)
+	}
+}
+
+func TestRandomRegularDeterminism(t *testing.T) {
+	g1, err1 := RandomRegular(60, 5, rng.New(42))
+	g2, err2 := RandomRegular(60, 5, rng.New(42))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	g3, err := RandomRegular(60, 5, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := g3.M() == g1.M()
+	if same {
+		for i, e := range g3.Edges() {
+			if e != e1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomRegularInfeasible(t *testing.T) {
+	cases := []struct {
+		name string
+		n, d int
+	}{
+		{"odd n*d", 5, 3},
+		{"odd n*d large", 101, 7},
+		{"d == n", 4, 4},
+		{"d > n", 3, 7},
+		{"negative d", 10, -1},
+	}
+	for _, tc := range cases {
+		if _, err := RandomRegular(tc.n, tc.d, rng.New(1)); !errors.Is(err, ErrGeneration) {
+			t.Errorf("%s (n=%d, d=%d): err = %v, want ErrGeneration", tc.name, tc.n, tc.d, err)
+		}
+	}
+}
+
+// FuzzRandomRegular throws arbitrary (n, d, seed) triples at the generator:
+// infeasible configurations must error with ErrGeneration, feasible ones
+// must produce a simple, exactly d-regular graph — and nothing may panic.
+func FuzzRandomRegular(f *testing.F) {
+	f.Add(uint8(10), uint8(3), uint64(1))
+	f.Add(uint8(5), uint8(3), uint64(2))   // odd n·d
+	f.Add(uint8(4), uint8(4), uint64(3))   // d == n
+	f.Add(uint8(3), uint8(0), uint64(4))   // edgeless
+	f.Add(uint8(12), uint8(11), uint64(5)) // complete graph
+	f.Fuzz(func(t *testing.T, nRaw, dRaw uint8, seed uint64) {
+		n := int(nRaw)%48 + 3
+		d := int(dRaw) % 16
+		g, err := RandomRegular(n, d, rng.New(seed))
+		if d >= n || n*d%2 != 0 {
+			if !errors.Is(err, ErrGeneration) {
+				t.Fatalf("infeasible (n=%d, d=%d) accepted: %v", n, d, err)
+			}
+			return
+		}
+		if err != nil {
+			// Restart exhaustion is allowed by contract, but must be the
+			// tagged sentinel; at d < 16, n <= 50 it should be essentially
+			// impossible, so flag it for inspection.
+			t.Fatalf("feasible (n=%d, d=%d) failed: %v", n, d, err)
+		}
+		checkRegularInvariants(t, g, n, d)
+	})
+}

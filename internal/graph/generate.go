@@ -135,6 +135,10 @@ func GNM(n, m int, src *rng.Source) *Graph {
 // remaining stubs, skipping pairs that would create a loop or multi-edge, and
 // restart the whole construction only if no valid pair remains. For
 // d = o(n^{1/3}) the output is asymptotically uniform and restarts are rare.
+// Above half density (d > (n-1)/2), where the pairing jams almost surely, it
+// samples the complement (n-1-d)-regular graph instead and complements it —
+// complementation is a bijection on d-regular graphs, so uniformity carries
+// over, and feasibility is unchanged (n·(n-1-d) has the parity of n·d).
 // n*d must be even and d < n. The pairing needs online duplicate detection,
 // so this generator keeps the hash-set Builder (n*d stays small).
 func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
@@ -144,6 +148,13 @@ func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
 	if n*d%2 != 0 {
 		return nil, fmt.Errorf("%w: n*d must be even (n=%d, d=%d)", ErrGeneration, n, d)
 	}
+	if d > (n-1)/2 {
+		gc, err := RandomRegular(n, n-1-d, src)
+		if err != nil {
+			return nil, err
+		}
+		return complement(gc), nil
+	}
 	const maxRestarts = 100
 	for attempt := 0; attempt < maxRestarts; attempt++ {
 		if g, ok := tryStegerWormald(n, d, src); ok {
@@ -152,6 +163,28 @@ func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
 	}
 	return nil, fmt.Errorf("%w: pairing exhausted %d restarts (n=%d, d=%d)",
 		ErrGeneration, maxRestarts, n, d)
+}
+
+// complement returns the loop-free complement graph: (u, v) is an edge iff
+// u != v and (u, v) is not an edge of g. Rows are sorted, so one pointer
+// walk per row streams the complement's edge list in canonical order.
+func complement(g *Graph) *Graph {
+	n := g.N()
+	edges := make([]Edge, 0, n*(n-1)/2-int(g.M()))
+	for u := 0; u < n; u++ {
+		nb := g.Neighbors(NodeID(u))
+		i := 0
+		for v := u + 1; v < n; v++ {
+			for i < len(nb) && int(nb[i]) < v {
+				i++
+			}
+			if i < len(nb) && int(nb[i]) == v {
+				continue
+			}
+			edges = append(edges, Edge{U: NodeID(u), V: NodeID(v)})
+		}
+	}
+	return newCSR(n, edges)
 }
 
 func tryStegerWormald(n, d int, src *rng.Source) (*Graph, bool) {

@@ -291,6 +291,116 @@ func TestInducedSubgraphPreservesEdges(t *testing.T) {
 	}
 }
 
+func TestInducedSubgraphEdgeCases(t *testing.T) {
+	g := Complete(6)
+
+	// Empty vertex set: an empty (not nil-panicking) subgraph.
+	sub, orig := g.InducedSubgraph(nil)
+	if sub.N() != 0 || sub.M() != 0 || len(orig) != 0 {
+		t.Fatalf("empty set: n=%d m=%d orig=%v", sub.N(), sub.M(), orig)
+	}
+	sub, orig = g.InducedSubgraph([]NodeID{})
+	if sub.N() != 0 || sub.M() != 0 || len(orig) != 0 {
+		t.Fatalf("empty slice: n=%d m=%d orig=%v", sub.N(), sub.M(), orig)
+	}
+
+	// A set that is all duplicates of one vertex: single isolated vertex.
+	sub, orig = g.InducedSubgraph([]NodeID{4, 4, 4})
+	if sub.N() != 1 || sub.M() != 0 || len(orig) != 1 || orig[0] != 4 {
+		t.Fatalf("all-duplicates set: n=%d m=%d orig=%v", sub.N(), sub.M(), orig)
+	}
+
+	// Full set: an exact round trip, identity mapping, every edge kept.
+	all := make([]NodeID, g.N())
+	for v := range all {
+		all[v] = NodeID(v)
+	}
+	sub, orig = g.InducedSubgraph(all)
+	if sub.N() != g.N() || sub.M() != g.M() {
+		t.Fatalf("full set: n=%d m=%d, want %d, %d", sub.N(), sub.M(), g.N(), g.M())
+	}
+	for i, v := range orig {
+		if int(v) != i {
+			t.Fatalf("full set mapping not identity: %v", orig)
+		}
+	}
+	for _, e := range g.Edges() {
+		if !sub.HasEdge(e.U, e.V) {
+			t.Fatalf("full-set round trip lost edge %v", e)
+		}
+	}
+
+	// Full set given in reverse plus duplicates: same graph after dedup,
+	// mapping still sorted ascending.
+	rev := append(append([]NodeID{}, all...), all...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	sub, orig = g.InducedSubgraph(rev)
+	if sub.N() != g.N() || sub.M() != g.M() {
+		t.Fatalf("reversed full set: n=%d m=%d", sub.N(), sub.M())
+	}
+	for i := 1; i < len(orig); i++ {
+		if orig[i-1] >= orig[i] {
+			t.Fatalf("mapping not strictly ascending: %v", orig)
+		}
+	}
+}
+
+// TestHCThresholdPMonotone pins the shape of the threshold function: for
+// fixed (n, delta) it grows with c, for fixed (c, delta) it shrinks with n,
+// and for fixed (n, c) it shrinks as delta grows (denser regimes at smaller
+// exponents).
+func TestHCThresholdPMonotone(t *testing.T) {
+	n := 10_000
+	prev := 0.0
+	for _, c := range []float64{0.5, 1, 1.5, 2, 4, 8, 16} {
+		p := HCThresholdP(n, c, 0.5)
+		if p <= prev {
+			t.Fatalf("not monotone in c: p(%v)=%v <= p(prev)=%v", c, p, prev)
+		}
+		prev = p
+	}
+	if HCThresholdP(n, 2, 0.3) <= HCThresholdP(n, 2, 0.5) {
+		t.Fatal("not anti-monotone in delta")
+	}
+	if HCThresholdP(n, 2, 0.5) <= HCThresholdP(4*n, 2, 0.5) {
+		t.Fatal("not anti-monotone in n")
+	}
+}
+
+func TestHCThresholdPClampAndSmallN(t *testing.T) {
+	// n < 2 has no meaningful threshold at all.
+	for _, n := range []int{-1, 0, 1} {
+		if p := HCThresholdP(n, 86, 0.5); p != 0 {
+			t.Fatalf("n=%d threshold %v, want 0", n, p)
+		}
+	}
+	// n = 2 is the smallest n with a defined value; huge c must clamp.
+	if p := HCThresholdP(2, 100, 1); p != 1 {
+		t.Fatalf("n=2 huge c: %v, want clamp to 1", p)
+	}
+	// c = 0 collapses to 0 at every n and delta.
+	if p := HCThresholdP(1000, 0, 0.5); p != 0 {
+		t.Fatalf("c=0: %v, want 0", p)
+	}
+	// The clamp boundary: delta = 0 makes p = c·ln n, always clamped for
+	// c·ln n >= 1.
+	if p := HCThresholdP(1000, 1, 0); p != 1 {
+		t.Fatalf("delta=0: %v, want 1", p)
+	}
+	// Every output lies in [0, 1] across a parameter sweep.
+	for _, n := range []int{2, 3, 10, 1000} {
+		for _, c := range []float64{0, 0.1, 1, 86} {
+			for _, delta := range []float64{0, 0.25, 0.5, 1} {
+				if p := HCThresholdP(n, c, delta); p < 0 || p > 1 {
+					t.Fatalf("HCThresholdP(%d, %v, %v) = %v out of [0, 1]", n, c, delta, p)
+				}
+			}
+		}
+	}
+}
+
 func TestHCThresholdP(t *testing.T) {
 	if p := HCThresholdP(1, 86, 0.5); p != 0 {
 		t.Fatalf("n=1 threshold %v, want 0", p)

@@ -1,0 +1,474 @@
+// Package sweep runs bounded-parallel Monte Carlo phase-space sweeps over a
+// grid of (graph family, n, density parameter, algorithm, engine) cells and
+// aggregates per-cell success statistics — the harness that turns the
+// paper's statistical claims ("above p = c·ln n/n^δ the algorithms find a
+// Hamiltonian cycle w.h.p. within the stated budgets") into measurable,
+// regression-testable numbers.
+//
+// Every cell runs Trials fully independent trials: a fresh graph and a fresh
+// solver seed per trial, because the paper's success probability is over
+// both the random instance and the algorithm's coin flips. Each trial draws
+// its two seeds from a private RNG stream split off the master seed (the
+// same discipline as the stepsim and congest worker pools):
+//
+//	instStream  = rng.New(master).Split(fnv1a(cell.InstanceKey()))
+//	trialStream = instStream.Split(trial + 1)
+//	graphSeed, solveSeed = trialStream.Uint64(), trialStream.Uint64()
+//
+// The derivation hangs off the cell's instance key — family, n, parameter,
+// delta, but NOT algorithm or engine — so every (algo, engine) column of a
+// grid point solves the same instance set with the same solver seeds. That
+// makes cross-algorithm comparisons paired, and it turns the engine identity
+// contract into sweep-checkable data: the "exact" and "exact-dense" cells of
+// one grid point must agree byte for byte on their rounds/messages/bits
+// quantiles. Because the key is content-derived (never a grid position),
+// adding or removing cells does not change another cell's trials, which is
+// what makes per-cell resume sound. Trial outcomes land in pre-sized slots
+// and are folded in trial order, and the report schema carries no wall-clock
+// fields, so a sweep's output is byte-identical at any worker count.
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"dhc"
+	"dhc/internal/bench"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+)
+
+// Family selects the random-graph workload of a cell.
+type Family int
+
+const (
+	// FamilyGNP is G(n, p) at the paper's threshold p = c·ln n / n^δ.
+	FamilyGNP Family = iota + 1
+	// FamilyGNM is the uniform fixed-edge-count model G(n, m) with
+	// m = round(p·n(n-1)/2) at the same threshold p.
+	FamilyGNM
+	// FamilyRegular is the random d-regular model; the cell parameter is
+	// the degree d.
+	FamilyRegular
+)
+
+var familyNames = map[Family]string{
+	FamilyGNP:     "gnp",
+	FamilyGNM:     "gnm",
+	FamilyRegular: "regular",
+}
+
+// String returns the family's report spelling ("gnp", "gnm", "regular").
+func (f Family) String() string {
+	if s, ok := familyNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("family(%d)", int(f))
+}
+
+// ParseFamily resolves a family name.
+func ParseFamily(s string) (Family, error) {
+	for f, name := range familyNames {
+		if name == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown graph family %q", s)
+}
+
+// ParseFamilies resolves a comma-separated family list.
+func ParseFamilies(s string) ([]Family, error) {
+	var out []Family
+	for _, part := range bench.SplitList(s) {
+		f, err := ParseFamily(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Grid is a sweep specification: the cartesian product of its axes, run for
+// Trials Monte Carlo trials per cell from MasterSeed.
+type Grid struct {
+	Families []Family  `json:"families"`
+	Sizes    []int     `json:"sizes"`
+	Params   []float64 `json:"params"`
+	// Delta is the gnp/gnm threshold exponent (p = c·ln n / n^Delta) and is
+	// also passed to DHC2 as its partition exponent. Zero defaults to 1,
+	// the connectivity-threshold regime.
+	Delta float64 `json:"delta,omitempty"`
+	// Algos and Engines are parsed from the bench vocabulary ("dra", ... /
+	// "step", "exact", "exact-dense").
+	Algos   []dhc.Algorithm    `json:"-"`
+	Engines []bench.EngineMode `json:"-"`
+	// Trials is the Monte Carlo sample size per cell (default 20).
+	Trials int `json:"trials,omitempty"`
+	// MasterSeed roots every cell's RNG stream.
+	MasterSeed uint64 `json:"master_seed"`
+	// NumColors overrides the partition count K for DHC1/DHC2 (0 derives).
+	NumColors int `json:"num_colors,omitempty"`
+	// MaxAttempts bounds solver restart retries (0 = engine default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// Cell is one grid point.
+type Cell struct {
+	Family Family
+	N      int
+	Param  float64
+	Delta  float64 // 0 for regular (the degree needs no exponent)
+	Algo   dhc.Algorithm
+	Engine bench.EngineMode
+}
+
+// Key identifies the cell, matching bench.CellStats.Key; it is the resume
+// key.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/n=%d/param=%g/delta=%g/%s/%s",
+		c.Family, c.N, c.Param, c.Delta, c.Algo, c.Engine.Name())
+}
+
+// InstanceKey identifies the cell's random-instance distribution — the grid
+// point without the solver columns. It seeds the trial streams, so every
+// (algo, engine) cell of one grid point draws identical graphs and solver
+// seeds; its format is part of the reproducibility contract.
+func (c Cell) InstanceKey() string {
+	return fmt.Sprintf("%s/n=%d/param=%g/delta=%g", c.Family, c.N, c.Param, c.Delta)
+}
+
+// delta returns the grid's effective threshold exponent.
+func (g *Grid) delta() float64 {
+	if g.Delta == 0 {
+		return 1
+	}
+	return g.Delta
+}
+
+// trials returns the grid's effective per-cell sample size.
+func (g *Grid) trials() int {
+	if g.Trials <= 0 {
+		return 20
+	}
+	return g.Trials
+}
+
+// Validate checks the grid's axes.
+func (g *Grid) Validate() error {
+	if len(g.Families) == 0 || len(g.Sizes) == 0 || len(g.Params) == 0 ||
+		len(g.Algos) == 0 || len(g.Engines) == 0 {
+		return fmt.Errorf("sweep: empty grid axis (families/sizes/params/algos/engines all required)")
+	}
+	for _, n := range g.Sizes {
+		if n < 3 {
+			return fmt.Errorf("sweep: size %d below the minimum cycle length 3", n)
+		}
+	}
+	if d := g.delta(); d <= 0 || d > 1 {
+		return fmt.Errorf("sweep: delta %v outside (0, 1]", d)
+	}
+	for _, f := range g.Families {
+		if _, ok := familyNames[f]; !ok {
+			return fmt.Errorf("sweep: unknown family %d", int(f))
+		}
+		if f == FamilyRegular {
+			for _, p := range g.Params {
+				if p != math.Trunc(p) || p < 1 {
+					return fmt.Errorf("sweep: regular family needs integer degree params, got %v", p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Cells enumerates the grid in its canonical order: family, n, param, algo,
+// engine. The order determines report layout only — never trial seeds.
+func (g *Grid) Cells() []Cell {
+	var cells []Cell
+	for _, f := range g.Families {
+		delta := g.delta()
+		if f == FamilyRegular {
+			delta = 0
+		}
+		for _, n := range g.Sizes {
+			for _, param := range g.Params {
+				for _, algo := range g.Algos {
+					for _, engine := range g.Engines {
+						cells = append(cells, Cell{
+							Family: f, N: n, Param: param, Delta: delta,
+							Algo: algo, Engine: engine,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds the trial-level worker pool within each cell (values
+	// <= 1 run sequentially). Any value produces byte-identical reports.
+	Workers int
+	// Progress, if non-nil, is called after each cell completes, in cell
+	// order (reused == true when the cell came from Resume).
+	Progress func(cell Cell, stats bench.CellStats, reused bool)
+	// Resume maps cell keys to previously computed stats (from a prior
+	// report with the same master seed and trial count); matching cells
+	// are reused instead of re-run. Entries whose Trials differ from the
+	// grid's are ignored.
+	Resume map[string]bench.CellStats
+}
+
+// Run executes the sweep and returns the v2 report section: per-cell
+// statistics in grid order plus scaling fits across cells.
+func Run(grid Grid, opts Options) (*bench.SweepSection, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	sec := &bench.SweepSection{
+		MasterSeed:    grid.MasterSeed,
+		TrialsPerCell: grid.trials(),
+		NumColors:     grid.NumColors,
+		MaxAttempts:   grid.MaxAttempts,
+	}
+	master := rng.New(grid.MasterSeed)
+	for _, cell := range grid.Cells() {
+		stats, reused := bench.CellStats{}, false
+		if prev, ok := opts.Resume[cell.Key()]; ok && prev.Trials == grid.trials() {
+			stats, reused = prev, true
+		} else {
+			stats = runCell(&grid, cell, master, opts.Workers)
+		}
+		sec.Cells = append(sec.Cells, stats)
+		if opts.Progress != nil {
+			opts.Progress(cell, stats, reused)
+		}
+	}
+	sec.Fits = Fits(sec.Cells)
+	return sec, nil
+}
+
+// trialOutcome is one trial's result slot, written only by the worker that
+// owns the trial and folded in trial order.
+type trialOutcome struct {
+	class  dhc.FailureClass
+	err    error
+	rounds int64
+	steps  int64
+	msgs   int64
+	bits   int64
+}
+
+// runCell executes one cell's Trials independent trials on a bounded pool.
+func runCell(grid *Grid, cell Cell, master *rng.Source, workers int) bench.CellStats {
+	trials := grid.trials()
+	instStream := master.Split(fnv1a(cell.InstanceKey()))
+	outs := make([]trialOutcome, trials)
+	runPool(workers, trials, func(trial int) {
+		outs[trial] = runTrial(grid, cell, instStream.Split(uint64(trial)+1))
+	})
+
+	stats := bench.CellStats{
+		Family: cell.Family.String(),
+		N:      cell.N,
+		Param:  cell.Param,
+		Delta:  cell.Delta,
+		Algo:   cell.Algo.String(),
+		Engine: cell.Engine.Name(),
+		Trials: trials,
+	}
+	if cell.Family != FamilyRegular {
+		stats.P = graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
+	}
+	var rounds, steps, msgs, bits []int64
+	for _, out := range outs {
+		switch out.class {
+		case dhc.FailureNone:
+			stats.Successes++
+			rounds = append(rounds, out.rounds)
+			steps = append(steps, out.steps)
+			msgs = append(msgs, out.msgs)
+			bits = append(bits, out.bits)
+		case dhc.FailureNoHC:
+			stats.FailNoHC++
+		case dhc.FailureRoundLimit:
+			stats.FailRoundLimit++
+		default:
+			stats.FailError++
+		}
+		if out.err != nil && stats.FirstError == "" {
+			stats.FirstError = out.err.Error()
+		}
+	}
+	stats.SuccessRate = float64(stats.Successes) / float64(trials)
+	stats.Rounds = bench.NewQuantiles(rounds)
+	stats.Steps = bench.NewQuantiles(steps)
+	if cell.Engine.Engine == dhc.EngineExact {
+		m, b := bench.NewQuantiles(msgs), bench.NewQuantiles(bits)
+		stats.Messages, stats.Bits = &m, &b
+	}
+	return stats
+}
+
+// runTrial generates the trial's instance and solves it, drawing both seeds
+// from the trial's private stream.
+func runTrial(grid *Grid, cell Cell, stream *rng.Source) trialOutcome {
+	graphSeed := stream.Uint64()
+	solveSeed := stream.Uint64()
+	g, err := buildGraph(cell, graphSeed)
+	if err != nil {
+		// An infeasible generator request is a configuration problem, not
+		// a solver negative.
+		return trialOutcome{class: dhc.FailureError, err: err}
+	}
+	res, class, err := dhc.Trial(g, cell.Algo, dhc.Options{
+		Seed:        solveSeed,
+		Engine:      cell.Engine.Engine,
+		DenseSweep:  cell.Engine.Dense,
+		Delta:       grid.delta(),
+		NumColors:   grid.NumColors,
+		MaxAttempts: grid.MaxAttempts,
+	})
+	out := trialOutcome{class: class, err: err}
+	if class == dhc.FailureNone {
+		out.rounds, out.steps = res.Rounds, res.Steps
+		if res.Counters != nil {
+			out.msgs, out.bits = res.Counters.Messages, res.Counters.Bits
+		}
+	}
+	return out
+}
+
+// buildGraph samples the cell's instance from the graph seed.
+func buildGraph(cell Cell, seed uint64) (*dhc.Graph, error) {
+	switch cell.Family {
+	case FamilyGNP:
+		return dhc.NewGNP(cell.N, graph.HCThresholdP(cell.N, cell.Param, cell.Delta), seed), nil
+	case FamilyGNM:
+		p := graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
+		maxM := cell.N * (cell.N - 1) / 2
+		m := int(math.Round(p * float64(maxM)))
+		if m > maxM {
+			m = maxM
+		}
+		return dhc.NewGNM(cell.N, m, seed), nil
+	case FamilyRegular:
+		return dhc.NewRandomRegular(cell.N, int(cell.Param), seed)
+	default:
+		return nil, fmt.Errorf("sweep: unknown family %d", int(cell.Family))
+	}
+}
+
+// Fits computes scaling fits along every (family, param, delta, algo,
+// engine) series of the cells that spans at least two sizes with successes,
+// in first-appearance order. The fitted statistic is the per-cell median
+// (P50) of rounds and steps, which is robust to the occasional straggler
+// trial that a mean would smear.
+func Fits(cells []bench.CellStats) []bench.ScalingFit {
+	type seriesKey struct {
+		family string
+		param  float64
+		delta  float64
+		algo   string
+		engine string
+	}
+	type point struct{ n, rounds, steps float64 }
+	series := map[seriesKey][]point{}
+	var order []seriesKey
+	for i := range cells {
+		c := &cells[i]
+		if c.Successes == 0 {
+			continue
+		}
+		k := seriesKey{c.Family, c.Param, c.Delta, c.Algo, c.Engine}
+		if _, ok := series[k]; !ok {
+			order = append(order, k)
+		}
+		series[k] = append(series[k], point{
+			n:      float64(c.N),
+			rounds: float64(c.Rounds.P50),
+			steps:  float64(c.Steps.P50),
+		})
+	}
+	var fits []bench.ScalingFit
+	for _, k := range order {
+		pts := series[k]
+		distinct := map[float64]bool{}
+		for _, p := range pts {
+			distinct[p.n] = true
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		var ns, rounds, steps []float64
+		for _, p := range pts {
+			ns = append(ns, p.n)
+			rounds = append(rounds, p.rounds)
+			steps = append(steps, p.steps)
+		}
+		fits = append(fits, bench.ScalingFit{
+			Family: k.family, Param: k.param, Delta: k.delta,
+			Algo: k.algo, Engine: k.engine,
+			Points:      len(distinct),
+			RoundsSlope: finiteOrZero(bench.FitExponent(ns, rounds)),
+			StepsSlope:  finiteOrZero(bench.FitExponent(ns, steps)),
+		})
+	}
+	return fits
+}
+
+// finiteOrZero maps the FitExponent "no usable points" NaN (a series whose
+// statistic is all zeros, e.g. steps for algorithms that never rotate) to
+// the schema's "no data" zero, which JSON can encode.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// fnv1a hashes a cell key into the 64-bit index of its RNG stream (FNV-1a).
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// runPool runs fn(item) for every item in [0, items): inline when workers
+// <= 1, else on a bounded pool. fn must only write state owned by its item.
+func runPool(workers, items int, fn func(item int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range work {
+				fn(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

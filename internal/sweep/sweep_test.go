@@ -1,0 +1,296 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"dhc"
+	"dhc/internal/bench"
+)
+
+func step() []bench.EngineMode { return []bench.EngineMode{{Engine: dhc.EngineStep}} }
+
+// encodeSection renders a sweep section the way the report file does, so
+// byte comparisons test exactly what hcsweep promises.
+func encodeSection(t *testing.T, sec *bench.SweepSection) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkerDeterminism pins the pipeline's core promise: the report is a
+// pure function of (grid, master seed) — any worker count produces
+// byte-identical output.
+func TestWorkerDeterminism(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyGNP, FamilyGNM},
+		Sizes:    []int{64, 96},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA, dhc.AlgorithmUpcast},
+		Engines:  step(),
+		Trials:   6, MasterSeed: 11,
+	}
+	var want []byte
+	for _, workers := range []int{0, 1, 4, 8} {
+		sec, err := Run(grid, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := encodeSection(t, sec)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("workers=%d produced a different report", workers)
+		}
+	}
+}
+
+// TestInstanceSharingAcrossSolverColumns pins the paired-trial design: all
+// (algo, engine) cells of one grid point draw the same instances and solver
+// seeds, so the exact engine's event-driven and dense-sweep cells must agree
+// byte for byte on every cost quantile — the engine identity contract as
+// sweep data.
+func TestInstanceSharingAcrossSolverColumns(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{48},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines: []bench.EngineMode{
+			{Engine: dhc.EngineExact},
+			{Engine: dhc.EngineExact, Dense: true},
+		},
+		Trials: 4, MasterSeed: 3,
+	}
+	sec, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(sec.Cells))
+	}
+	ev, dn := sec.Cells[0], sec.Cells[1]
+	if ev.Engine != "exact" || dn.Engine != "exact-dense" {
+		t.Fatalf("unexpected cell order: %s, %s", ev.Engine, dn.Engine)
+	}
+	if ev.Successes != dn.Successes || ev.Rounds != dn.Rounds {
+		t.Fatalf("event-driven and dense cells disagree: %+v vs %+v", ev, dn)
+	}
+	if ev.Messages == nil || dn.Messages == nil {
+		t.Fatal("exact cells missing message quantiles")
+	}
+	if *ev.Messages != *dn.Messages || *ev.Bits != *dn.Bits {
+		t.Fatalf("message/bit quantiles differ: %+v/%+v vs %+v/%+v",
+			ev.Messages, ev.Bits, dn.Messages, dn.Bits)
+	}
+}
+
+// TestFailureTaxonomy drives each failure class through a cell engineered
+// to produce it: far-below-threshold GNP yields genuine no-cycle outcomes,
+// an infeasible regular configuration (odd n·d) yields configuration
+// errors — and the two must never be conflated.
+func TestFailureTaxonomy(t *testing.T) {
+	noHC := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{64},
+		Params:   []float64{0.3}, // far below the Hamiltonicity threshold
+		Delta:    1,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   6, MasterSeed: 5,
+	}
+	sec, err := Run(noHC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sec.Cells[0]
+	if c.FailNoHC == 0 || c.FailError != 0 || c.FailRoundLimit != 0 {
+		t.Fatalf("sub-threshold cell should fail as no_hc only: %+v", c)
+	}
+	if c.Successes+c.FailNoHC != c.Trials {
+		t.Fatalf("outcomes do not partition trials: %+v", c)
+	}
+	if c.FirstError == "" {
+		t.Fatal("failing cell should sample an error message")
+	}
+
+	infeasible := Grid{
+		Families: []Family{FamilyRegular},
+		Sizes:    []int{15}, // 15 * 3 odd: no 3-regular graph exists
+		Params:   []float64{3},
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   3, MasterSeed: 5,
+	}
+	sec, err = Run(infeasible, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = sec.Cells[0]
+	if c.FailError != c.Trials {
+		t.Fatalf("infeasible generator should classify all trials as errors: %+v", c)
+	}
+	if c.FailNoHC != 0 {
+		t.Fatalf("config errors must not be counted as no-cycle outcomes: %+v", c)
+	}
+}
+
+// TestRegularFamilySolves sanity-checks the third workload end to end: a
+// random 8-regular graph at modest n is Hamiltonian-dense enough for DRA.
+func TestRegularFamilySolves(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyRegular},
+		Sizes:    []int{64},
+		Params:   []float64{8},
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   6, MasterSeed: 9,
+	}
+	sec, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sec.Cells[0]
+	if c.Successes == 0 {
+		t.Fatalf("8-regular n=64 should mostly solve: %+v", c)
+	}
+	if c.P != 0 || c.Delta != 0 {
+		t.Fatalf("regular cells must not carry gnp fields: %+v", c)
+	}
+}
+
+// TestResumeReusesCells pins resume soundness: reused cells short-circuit
+// computation, fresh cells still run, and the combined report is identical
+// to a from-scratch run of the larger grid.
+func TestResumeReusesCells(t *testing.T) {
+	small := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{64},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   5, MasterSeed: 13,
+	}
+	big := small
+	big.Sizes = []int{64, 96}
+
+	first, err := Run(small, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := map[string]bench.CellStats{}
+	for _, c := range first.Cells {
+		resume[c.Key()] = c
+	}
+	reusedByKey := map[string]bool{}
+	combined, err := Run(big, Options{
+		Resume: resume,
+		Progress: func(cell Cell, _ bench.CellStats, reused bool) {
+			reusedByKey[cell.Key()] = reused
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reusedByKey[first.Cells[0].Key()] {
+		t.Fatal("previously computed cell was re-run")
+	}
+	fresh, err := Run(big, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeSection(t, combined), encodeSection(t, fresh)) {
+		t.Fatal("resumed run differs from a from-scratch run")
+	}
+}
+
+// TestFitsRecoversKnownSlope feeds synthetic cells with rounds = n^1.5 and
+// checks the log-log fit recovers the exponent; a series present at only
+// one size must produce no fit, and a zero-valued statistic must report the
+// "no data" zero rather than NaN.
+func TestFitsRecoversKnownSlope(t *testing.T) {
+	mk := func(n int, rounds int64) bench.CellStats {
+		return bench.CellStats{
+			Family: "gnp", N: n, Param: 2, Delta: 1, Algo: "dra", Engine: "step",
+			Trials: 4, Successes: 4, SuccessRate: 1,
+			Rounds: bench.Quantiles{P50: rounds, P90: rounds, Max: rounds},
+		}
+	}
+	cells := []bench.CellStats{
+		mk(100, 1000), mk(400, 8000), mk(1600, 64000), // rounds = n^1.5
+		{Family: "gnm", N: 64, Param: 2, Algo: "dra", Engine: "step",
+			Trials: 4, Successes: 4, SuccessRate: 1}, // single size: no fit
+	}
+	fits := Fits(cells)
+	if len(fits) != 1 {
+		t.Fatalf("got %d fits, want 1: %+v", len(fits), fits)
+	}
+	if got := fits[0].RoundsSlope; math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("rounds slope %v, want 1.5", got)
+	}
+	if fits[0].StepsSlope != 0 {
+		t.Fatalf("all-zero steps series should fit the no-data zero, got %v", fits[0].StepsSlope)
+	}
+	if fits[0].Points != 3 {
+		t.Fatalf("points %d, want 3", fits[0].Points)
+	}
+}
+
+// TestGridValidate rejects malformed axes.
+func TestGridValidate(t *testing.T) {
+	good := Grid{
+		Families: []Family{FamilyGNP}, Sizes: []int{64}, Params: []float64{1.5},
+		Algos: []dhc.Algorithm{dhc.AlgorithmDRA}, Engines: step(),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Grid){
+		"no families":        func(g *Grid) { g.Families = nil },
+		"no sizes":           func(g *Grid) { g.Sizes = nil },
+		"tiny size":          func(g *Grid) { g.Sizes = []int{2} },
+		"no params":          func(g *Grid) { g.Params = nil },
+		"no algos":           func(g *Grid) { g.Algos = nil },
+		"no engines":         func(g *Grid) { g.Engines = nil },
+		"delta out of range": func(g *Grid) { g.Delta = 1.5 },
+		"fractional degree": func(g *Grid) {
+			g.Families = []Family{FamilyRegular}
+			g.Params = []float64{2.5}
+		},
+	} {
+		g := good
+		mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestParseFamily round-trips the family vocabulary.
+func TestParseFamily(t *testing.T) {
+	for _, f := range []Family{FamilyGNP, FamilyGNM, FamilyRegular} {
+		got, err := ParseFamily(f.String())
+		if err != nil || got != f {
+			t.Fatalf("round trip %v: got %v, %v", f, got, err)
+		}
+	}
+	if _, err := ParseFamily("smallworld"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	fams, err := ParseFamilies("gnp, regular")
+	if err != nil || len(fams) != 2 {
+		t.Fatalf("ParseFamilies: %v, %v", fams, err)
+	}
+}
