@@ -19,12 +19,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"dhc"
@@ -57,6 +60,7 @@ func run() error {
 		delta      = flag.Float64("delta", 1.0, "pipeline: density exponent of p = cmult*ln(n)/n^delta")
 		cmult      = flag.Float64("cmult", 32, "pipeline: density constant of p = cmult*ln(n)/n^delta")
 		bound      = flag.Int64("bound", 0, "pipeline: broadcast-bound override B for the exact engines (0 = tight default, n = the paper's trivial bound)")
+		reuse      = flag.Int("reuseTrials", 0, "pipeline: also measure repeated-trial throughput over this many per-point trials, once via fresh Solve calls and once via one reusable Solver session (mode=fresh/reuse record pairs)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
@@ -97,10 +101,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runJSON(jsonParams{
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runJSON(ctx, jsonParams{
 			out: *jsonOut, rev: *rev, grid: grid,
 			trials: *trials, seed: *seed, colors: *colors,
 			delta: *delta, cmult: *cmult, bound: *bound,
+			reuseTrials: *reuse,
 		})
 	}
 
@@ -145,6 +152,7 @@ type jsonParams struct {
 	colors       int
 	delta, cmult float64
 	bound        int64
+	reuseTrials  int
 }
 
 func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
@@ -171,8 +179,10 @@ func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
 // runJSON executes the benchmark grid and writes the versioned report. Each
 // graph is generated once per (n, trial) and shared across the whole
 // algo × engine × workers sweep, so wall-clock differences within a point
-// measure the solver, not the generator.
-func runJSON(p jsonParams) error {
+// measure the solver, not the generator. SIGINT/SIGTERM cancels the run via
+// ctx; cancelled runs surface as failed records and the report is not
+// written.
+func runJSON(ctx context.Context, p jsonParams) error {
 	if p.trials < 1 {
 		p.trials = 1
 	}
@@ -180,6 +190,12 @@ func runJSON(p jsonParams) error {
 	for _, n := range p.grid.sizes {
 		pr := dhc.ThresholdP(n, p.cmult, p.delta)
 		for trial := 0; trial < p.trials; trial++ {
+			// Stop before the next (uncancellable) graph generation: a
+			// cancelled grid must not keep burning time, and above all must
+			// not overwrite a previous good report with canceled rows.
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("benchmark grid canceled; %s not written: %w", p.out, err)
+			}
 			graphSeed := p.seed + uint64(trial)*1000003 + uint64(n)
 			g := dhc.NewGNP(n, pr, graphSeed)
 			for _, algo := range p.grid.algos {
@@ -198,7 +214,7 @@ func runJSON(p jsonParams) error {
 							Workers:        workers,
 						}
 						start := time.Now()
-						res, err := dhc.Solve(g, algo, dhc.Options{
+						res, err := dhc.SolveContext(ctx, g, algo, dhc.Options{
 							Seed:           rec.Seed,
 							Engine:         engine.Engine,
 							NumColors:      p.colors,
@@ -230,6 +246,14 @@ func runJSON(p jsonParams) error {
 			}
 		}
 	}
+	if p.reuseTrials > 0 {
+		if err := appendReuseRecords(ctx, rep, p); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("benchmark grid canceled; %s not written: %w", p.out, err)
+	}
 	if err := rep.Validate(); err != nil {
 		return err
 	}
@@ -247,6 +271,109 @@ func runJSON(p jsonParams) error {
 	printSpeedups(rep, p.grid)
 	fmt.Printf("wrote %s (%d records, schema v%d, host %d-cpu)\n",
 		p.out, len(rep.Records), rep.SchemaVersion, rep.NumCPU)
+	return nil
+}
+
+// appendReuseRecords measures the repeated-trial throughput grid: for each
+// (algo, engine, n, workers) point it solves reuseTrials distinct same-sized
+// instances twice — once through independent Solve calls ("fresh"), once
+// through a single reusable Solver session ("reuse") — and appends one Mode
+// record per series with its trials/sec. Graphs are pre-generated and seeds
+// are identical across the two series, so the pair isolates the solver
+// lifecycle; the two series also produce byte-identical results by the
+// solver determinism contract (any divergence would show up as a failed
+// record).
+func appendReuseRecords(ctx context.Context, rep *bench.Report, p jsonParams) error {
+	for _, n := range p.grid.sizes {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("reuse grid canceled: %w", err)
+		}
+		pr := dhc.ThresholdP(n, p.cmult, p.delta)
+		graphs := make([]*dhc.Graph, p.reuseTrials)
+		graphSeed0 := p.seed + uint64(n)
+		for t := range graphs {
+			graphs[t] = dhc.NewGNP(n, pr, graphSeed0+uint64(t)*1000003)
+		}
+		for _, algo := range p.grid.algos {
+			for _, engine := range p.grid.engines {
+				for _, workers := range p.grid.workerGrid {
+					opts := dhc.Options{
+						Engine:         engine.Engine,
+						DenseSweep:     engine.Dense,
+						NumColors:      p.colors,
+						Delta:          p.delta,
+						Workers:        workers,
+						BroadcastBound: p.bound,
+					}
+					solver, err := dhc.NewSolver(algo, opts)
+					if err != nil {
+						return err
+					}
+					series := []struct {
+						mode  string
+						solve func(t int) (*dhc.Result, error)
+					}{
+						{"fresh", func(t int) (*dhc.Result, error) {
+							o := opts
+							o.Seed = p.seed + uint64(t)
+							return dhc.SolveContext(ctx, graphs[t], algo, o)
+						}},
+						{"reuse", func(t int) (*dhc.Result, error) {
+							return solver.SolveSeeded(ctx, graphs[t], p.seed+uint64(t))
+						}},
+					}
+					for _, s := range series {
+						rec := bench.Record{
+							Algo:           algo.String(),
+							Engine:         engine.Name(),
+							N:              n,
+							M:              int64(graphs[0].M()),
+							P:              pr,
+							Seed:           p.seed,
+							GraphSeed:      graphSeed0,
+							NumColors:      p.colors,
+							BroadcastBound: p.bound,
+							Workers:        workers,
+							Mode:           s.mode,
+						}
+						start := time.Now()
+						var res *dhc.Result
+						var err error
+						attempted := 0
+						for t := 0; t < p.reuseTrials && err == nil; t++ {
+							attempted++
+							res, err = s.solve(t)
+						}
+						rec.WallSeconds = time.Since(start).Seconds()
+						// Record the trials actually run; an aborted series
+						// must not claim the full count's throughput.
+						rec.Trials = attempted
+						if err == nil && rec.WallSeconds > 0 {
+							rec.TrialsPerSec = float64(attempted) / rec.WallSeconds
+						}
+						if err != nil {
+							rec.Error = err.Error()
+						} else {
+							rec.OK = true
+							rec.Rounds = res.Rounds
+							rec.Steps = res.Steps
+							rec.Phase1Rounds = res.Phase1Rounds
+							rec.Phase2Rounds = res.Phase2Rounds
+							if res.Counters != nil {
+								rec.Messages = res.Counters.Messages
+								rec.Bits = res.Counters.Bits
+								rec.RoundsSkipped = res.Counters.RoundsSkipped
+							}
+						}
+						rep.Append(rec)
+						fmt.Printf("%s/%s n=%d workers=%d mode=%s: %d trials in %.3fs (%.1f trials/sec) ok=%v\n",
+							rec.Algo, rec.Engine, n, workers, s.mode, rec.Trials,
+							rec.WallSeconds, rec.TrialsPerSec, rec.OK)
+					}
+				}
+			}
+		}
+	}
 	return nil
 }
 

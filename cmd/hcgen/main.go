@@ -64,7 +64,9 @@ func run() error {
 	case "complete":
 		g = graph.Complete(*n)
 	default:
-		return fmt.Errorf("unknown model %q", *model)
+		// List the valid names deterministically (sorted), matching the
+		// ParseAlgorithm / ParseEngineMode error convention.
+		return fmt.Errorf("unknown model %q (valid: complete, gnm, gnp, regular, ring)", *model)
 	}
 
 	if *stats {

@@ -1,19 +1,30 @@
 // Command hcrun runs one Hamiltonian-cycle algorithm on one generated random
 // graph and prints the result and cost metrics.
 //
+// The run is a solver session: Ctrl-C cancels it at the engine's next
+// amortized checkpoint (the exit message reports the canceled failure
+// class), -timeout bounds its wall-clock, and -progress streams phase
+// transitions, restarts, and throttled round progress to stderr.
+//
 // Usage:
 //
 //	hcrun -algo dhc2 -n 1024 -c 16 -delta 0.5 -seed 1 -engine step
 //	hcrun -algo upcast -n 512 -p 0.3 -json
+//	hcrun -algo dhc1 -n 4096 -engine exact -progress -timeout 30s
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"dhc"
+	"dhc/internal/bench"
 )
 
 func main() {
@@ -33,6 +44,9 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
 		engine   = flag.String("engine", "exact", "engine: exact (event-driven), exact-dense (dense-sweep oracle) or step")
 		bound    = flag.Int64("bound", 0, "broadcast-bound override B for the exact engines (0 = tight default)")
+		maxR     = flag.Int64("maxrounds", 0, "round-budget override for the exact engines (0 = derived default)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
+		progress = flag.Bool("progress", false, "stream phases, restarts and round progress to stderr")
 		workers  = flag.Int("workers", 1, "parallel workers (exact-engine executor / step-engine phase-1 shards)")
 		colors   = flag.Int("colors", 0, "override partition count K")
 		asJSON   = flag.Bool("json", false, "JSON output")
@@ -44,6 +58,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	mode, err := bench.ParseEngineMode(*engine)
+	if err != nil {
+		return err
+	}
 	prob := *p
 	if prob == 0 {
 		prob = dhc.ThresholdP(*n, *c, *delta)
@@ -51,24 +69,29 @@ func run() error {
 	g := dhc.NewGNP(*n, prob, *seed+1)
 	opts := dhc.Options{
 		Seed:           *seed,
+		Engine:         mode.Engine,
+		DenseSweep:     mode.Dense,
 		Delta:          *delta,
 		NumColors:      *colors,
 		Workers:        *workers,
 		BroadcastBound: *bound,
+		MaxRounds:      *maxR,
 	}
-	switch *engine {
-	case "exact":
-		opts.Engine = dhc.EngineExact
-	case "exact-dense":
-		opts.Engine = dhc.EngineExact
-		opts.DenseSweep = true
-	case "step":
-		opts.Engine = dhc.EngineStep
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+	if *progress {
+		opts.Observer = progressObserver()
 	}
-	res, err := dhc.Solve(g, algo, opts)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := dhc.SolveContext(ctx, g, algo, opts)
 	if err != nil {
+		if class := dhc.Classify(err); class == dhc.FailureCanceled {
+			return fmt.Errorf("run canceled (class %s): %w", class, err)
+		}
 		return err
 	}
 	if *asJSON {
@@ -109,4 +132,25 @@ func run() error {
 		fmt.Printf("  cycle: %v\n", res.Cycle)
 	}
 	return nil
+}
+
+// progressObserver streams the run's lifecycle to stderr: every phase
+// transition and restart, plus round progress throttled to once per second
+// (the exact engine's OnRounds checkpoint fires far more often).
+func progressObserver() *dhc.Observer {
+	var lastBeat time.Time
+	return &dhc.Observer{
+		OnPhase: func(phase string) {
+			fmt.Fprintf(os.Stderr, "hcrun: entering %s\n", phase)
+		},
+		OnRestart: func(restarts int) {
+			fmt.Fprintf(os.Stderr, "hcrun: restart (%d so far)\n", restarts)
+		},
+		OnRounds: func(rounds int64) {
+			if now := time.Now(); now.Sub(lastBeat) >= time.Second {
+				lastBeat = now
+				fmt.Fprintf(os.Stderr, "hcrun: %d rounds charged\n", rounds)
+			}
+		},
+	}
 }

@@ -10,6 +10,14 @@
 // any worker count. The report is rewritten atomically after every completed
 // cell, and -resume reloads such a file and skips its finished cells.
 //
+// The pipeline is interruptible: SIGINT/SIGTERM cancels in-flight solver
+// trials at the engines' amortized checkpoints, abandons the in-flight cell
+// (its partial outcomes are wall-clock dependent), and exits 130 leaving the
+// checkpoint on disk; a -resume rerun completes the byte-identical report an
+// uninterrupted run would have written. -cell-timeout bounds each cell's
+// wall-clock; its cut-off trials are recorded as fail_canceled and the cell
+// re-runs on -resume.
+//
 // Usage:
 //
 //	hcsweep -json sweep.json -families gnp -sizes 256,512 -params 1.5 \
@@ -25,12 +33,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dhc"
@@ -41,6 +54,12 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "hcsweep:", err)
+		if errors.Is(err, context.Canceled) {
+			// Interrupted (SIGINT/SIGTERM): the checkpointed report holds
+			// every finished cell; exit with the conventional 130 so callers
+			// can tell "interrupted but resumable" from a hard failure.
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -78,6 +97,8 @@ func run() error {
 		attempts = flag.Int("attempts", 0, "solver restart budget override (0 = engine default)")
 		workers  = flag.Int("workers", 1, "trial-level worker pool (byte-identical output at any value)")
 		resume   = flag.Bool("resume", false, "reuse finished cells from an existing -json file with the same seed and trial count")
+		cellTime = flag.Duration("cell-timeout", 0, "wall-clock cap per cell; cut-off trials count as canceled and the cell re-runs on -resume")
+		trace    = flag.Bool("trace", false, "log solver phase transitions and restarts per cell to stderr")
 	)
 	flag.Parse()
 
@@ -97,12 +118,21 @@ func run() error {
 		return err
 	}
 
-	opts := sweep.Options{Workers: *workers}
+	opts := sweep.Options{Workers: *workers, CellTimeout: *cellTime}
+	if *trace {
+		opts.Observer = traceObserver
+	}
 	if *resume {
 		if opts.Resume, err = loadResume(*jsonOut, grid); err != nil {
 			return err
 		}
 	}
+
+	// SIGINT/SIGTERM cancel the sweep cooperatively: in-flight trials stop at
+	// the engines' amortized checkpoints, the in-flight cell is abandoned,
+	// and the per-cell checkpoint file (written below) stays resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Rewrite the report after every finished cell so an interrupted sweep
 	// loses at most one cell of work; fits are recomputed over the cells
@@ -129,7 +159,12 @@ func run() error {
 			stats.Rounds.P50, tag)
 	}
 
-	sec, err := sweep.Run(grid, opts)
+	sec, err := sweep.RunContext(ctx, grid, opts)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "hcsweep: interrupted; %d finished cells checkpointed in %s — rerun with -resume to complete the identical report\n",
+			len(sec.Cells), *jsonOut)
+		return err
+	}
 	if err != nil {
 		return err
 	}
@@ -246,6 +281,42 @@ func mergeConfig(base, file gridConfig) gridConfig {
 	return base
 }
 
+// traceObserver builds the -trace observer for one cell: first entry into
+// each phase, every restart, and a once-per-second round heartbeat. The
+// callbacks fire concurrently under -workers > 1, so all shared state is
+// atomic.
+func traceObserver(cell sweep.Cell) *dhc.Observer {
+	key := cell.Key()
+	var seenPhase1, seenPhase2, seenRun atomic.Bool
+	var restarts atomic.Int64
+	var lastBeat atomic.Int64
+	return &dhc.Observer{
+		OnPhase: func(phase string) {
+			seen := &seenRun
+			switch phase {
+			case "phase1":
+				seen = &seenPhase1
+			case "phase2":
+				seen = &seenPhase2
+			}
+			if seen.CompareAndSwap(false, true) {
+				fmt.Fprintf(os.Stderr, "hcsweep: %s: entered %s\n", key, phase)
+			}
+		},
+		OnRestart: func(r int) {
+			fmt.Fprintf(os.Stderr, "hcsweep: %s: trial restart (attempt %d, %d restarts observed this cell)\n",
+				key, r, restarts.Add(1))
+		},
+		OnRounds: func(rounds int64) {
+			now := time.Now().UnixNano()
+			last := lastBeat.Load()
+			if now-last > int64(time.Second) && lastBeat.CompareAndSwap(last, now) {
+				fmt.Fprintf(os.Stderr, "hcsweep: %s: ~%d rounds into a trial\n", key, rounds)
+			}
+		},
+	}
+}
+
 // loadResume decodes a prior report at path (absence is not an error) and
 // returns its cells keyed for reuse. A master-seed or trial-count mismatch
 // is fatal: silently mixing two sweeps would corrupt the determinism
@@ -322,9 +393,16 @@ func runValidate(path string) error {
 			fmt.Fprintf(os.Stderr, "cell %s: %d config-error trials: %s\n", c.Key(), c.FailError, c.FirstError)
 			bad++
 		}
+		if c.FailCanceled > 0 {
+			// A canceled cell is an unfinished (and wall-clock dependent)
+			// measurement, not Monte Carlo data; rerun with -resume.
+			fmt.Fprintf(os.Stderr, "cell %s: %d canceled trials (timeout/interrupt); rerun with -resume\n",
+				c.Key(), c.FailCanceled)
+			bad++
+		}
 	}
 	if bad > 0 {
-		return fmt.Errorf("%d of %d cells hit configuration errors", bad, len(rep.Sweep.Cells))
+		return fmt.Errorf("%d of %d cells hit configuration errors or cancellations", bad, len(rep.Sweep.Cells))
 	}
 	fmt.Printf("%s: schema v%d, rev %s, %d cells x %d trials, %d fits, no config errors\n",
 		path, rep.SchemaVersion, rep.Rev, len(rep.Sweep.Cells), rep.Sweep.TrialsPerCell, len(rep.Sweep.Fits))

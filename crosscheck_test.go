@@ -149,6 +149,44 @@ func TestCrosscheckPhase2Costs(t *testing.T) {
 	}
 }
 
+// TestCrosscheckSteps pins the step-count agreement between the engines for
+// the DHC algorithms — the fix for Result.Steps silently reading 0 on the
+// exact engine while the step engine reported it. Both engines must meter a
+// positive rotation-step total, and the two totals must agree within the
+// same documented slack as the round crosscheck (the engines consume
+// randomness differently, so counts match in scale, not bit for bit).
+func TestCrosscheckSteps(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		g := NewGNP(n, 0.8, uint64(n))
+		k := n / 16
+		for _, algo := range []Algorithm{AlgorithmDHC1, AlgorithmDHC2} {
+			t.Run(fmt.Sprintf("%s/n=%d", algo, n), func(t *testing.T) {
+				opts := Options{Seed: 7, NumColors: k, Delta: 0.5}
+				exact, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("exact engine: %v", err)
+				}
+				opts.Engine = EngineStep
+				step, err := Solve(g, algo, opts)
+				if err != nil {
+					t.Fatalf("step engine: %v", err)
+				}
+				if exact.Steps <= 0 || step.Steps <= 0 {
+					t.Fatalf("missing step metering: exact=%d step=%d", exact.Steps, step.Steps)
+				}
+				lo, hi := exact.Steps, step.Steps
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if hi > crossEngineRoundSlack*lo {
+					t.Fatalf("step accounting disagrees beyond %dx slack: exact=%d step=%d",
+						crossEngineRoundSlack, exact.Steps, step.Steps)
+				}
+			})
+		}
+	}
+}
+
 // TestCrosscheckPhaseAccounting pins the invariant both engines share: for
 // the two-phase algorithms the total equals the phase split.
 func TestCrosscheckPhaseAccounting(t *testing.T) {

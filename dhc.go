@@ -20,8 +20,11 @@
 package dhc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
 	"dhc/internal/congest"
 	"dhc/internal/core"
@@ -101,14 +104,27 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
+// AlgorithmNames returns every algorithm's short name in sorted order — the
+// vocabulary ParseAlgorithm accepts, spelled the way its error reports it.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithmNames))
+	for _, name := range algorithmNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ParseAlgorithm resolves a short name ("dra", "dhc1", "dhc2", "upcast").
+// The error of an unknown name lists the valid names deterministically
+// (sorted), so CLI messages are stable across runs.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for a, name := range algorithmNames {
 		if name == s {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("dhc: unknown algorithm %q", s)
+	return 0, fmt.Errorf("dhc: unknown algorithm %q (valid: %s)", s, strings.Join(AlgorithmNames(), ", "))
 }
 
 // Engine selects the simulation fidelity.
@@ -158,6 +174,67 @@ type Options struct {
 	MaxAttempts int
 	// SamplesPerNode is Upcast's per-node edge sample count (0 = 3·ln n).
 	SamplesPerNode int
+	// MaxRounds overrides the exact engine's round budget — the watchdog
+	// that turns a non-terminating run into ErrRoundLimit. Zero keeps each
+	// algorithm's derived default; negatives are rejected up front (like
+	// BroadcastBound, a negative budget would surface as a round-limit
+	// failure and corrupt the failure taxonomy). Ignored by EngineStep,
+	// which has no round loop to bound — use a context deadline there.
+	MaxRounds int64
+	// Observer, if non-nil, receives best-effort lifecycle callbacks (see
+	// Observer). It observes only: a run's cycle, rounds and counters are
+	// byte-identical with or without it.
+	Observer *Observer
+}
+
+// Observer receives lifecycle callbacks from a run, for CLIs and harnesses
+// that want liveness signals out of long solves without polling. Callbacks
+// run synchronously on the solving goroutine — keep them fast — and every
+// field is optional. Callback granularity is engine-dependent: the step
+// engine reports its real phase transitions ("phase1", "phase2") and restart
+// attempts; the exact engine reports a single "run" phase plus throttled
+// round progress (its phases are per-node state, invisible to the driver
+// until extraction).
+type Observer struct {
+	// OnPhase fires when the run enters a named phase: "run" for
+	// single-phase algorithms and the exact engine, "phase1"/"phase2" for
+	// the step engine's DHC algorithms.
+	OnPhase func(phase string)
+	// OnRounds fires with the charged round total at the exact engine's
+	// amortized checkpoint (every few dozen executed rounds). Never fires
+	// for EngineStep, which charges rounds analytically.
+	OnRounds func(rounds int64)
+	// OnRestart fires when the step engine burns a run-level restart
+	// attempt (a failed standalone rotation attempt, a phase-1 recolor, or
+	// a phase-2 retry), with a strictly increasing cumulative count per
+	// run. The step engine's per-partition internal restarts happen on
+	// pool workers and are aggregated into cost accounting rather than
+	// reported individually; the exact engine's restarts are per-node
+	// decisions and are not reported at all.
+	OnRestart func(restarts int)
+}
+
+// hooks adapts the observer to the step engine's callback set.
+func (o *Observer) hooks() stepsim.Hooks {
+	if o == nil {
+		return stepsim.Hooks{}
+	}
+	return stepsim.Hooks{OnPhase: o.OnPhase, OnRestart: o.OnRestart}
+}
+
+// phase fires OnPhase if configured.
+func (o *Observer) phase(name string) {
+	if o != nil && o.OnPhase != nil {
+		o.OnPhase(name)
+	}
+}
+
+// progress returns the congest-layer progress hook, nil when unobserved.
+func (o *Observer) progress() func(int64) {
+	if o == nil {
+		return nil
+	}
+	return o.OnRounds
 }
 
 // Result is the outcome of a successful Solve.
@@ -206,6 +283,11 @@ const (
 	// options, a CONGEST model violation, an infeasible generator request.
 	// Retrying with a new seed cannot help.
 	FailureError
+	// FailureCanceled means the run was cut off by its context (cancellation
+	// or deadline) before terminating. It is evidence about the operator's
+	// patience, not the algorithm: a canceled trial must not count toward
+	// success probability, the round-budget statistic, or usage errors.
+	FailureCanceled
 )
 
 var failureNames = map[FailureClass]string{
@@ -213,6 +295,7 @@ var failureNames = map[FailureClass]string{
 	FailureNoHC:       "no_hc",
 	FailureRoundLimit: "round_limit",
 	FailureError:      "error",
+	FailureCanceled:   "canceled",
 }
 
 // String returns the class's short name ("ok", "no_hc", "round_limit",
@@ -226,11 +309,15 @@ func (f FailureClass) String() string {
 
 // Classify maps a Solve error to its failure class. A nil error is
 // FailureNone; a round-limit cut-off classifies as FailureRoundLimit even
-// though it is also wrapped in ErrNoHamiltonianCycle.
+// though it is also wrapped in ErrNoHamiltonianCycle; context cancellation
+// and deadline expiry classify as FailureCanceled regardless of which layer
+// surfaced them.
 func Classify(err error) FailureClass {
 	switch {
 	case err == nil:
 		return FailureNone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return FailureCanceled
 	case errors.Is(err, ErrRoundLimit):
 		return FailureRoundLimit
 	case errors.Is(err, ErrNoHamiltonianCycle):
@@ -248,10 +335,61 @@ func Trial(g *Graph, algo Algorithm, opts Options) (*Result, FailureClass, error
 }
 
 // Solve runs the selected algorithm on g and returns the verified cycle and
-// cost metrics. All randomness derives from opts.Seed.
+// cost metrics. All randomness derives from opts.Seed. It is the one-shot
+// form of a Solver session: repeated trials should construct one Solver and
+// reuse it (see NewSolver).
 func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), g, algo, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation: the run stops at the
+// engine's next amortized checkpoint once ctx is done and returns ctx's
+// error (matchable with errors.Is against context.Canceled or
+// context.DeadlineExceeded; Classify maps both to FailureCanceled).
+func SolveContext(ctx context.Context, g *Graph, algo Algorithm, opts Options) (*Result, error) {
+	s, err := NewSolver(algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx, g)
+}
+
+// Solver is a reusable run session for one (algorithm, options) pair. Its
+// Solve method executes independent trials while retaining engine state
+// across calls — the exact engine's simulator arena (persistent node
+// contexts, inbox buckets, wake-schedule heap, codec) and the step engine's
+// scratch buffers — so repeated trials on same-shape instances (equal vertex
+// count) allocate a small fraction of what fresh Solve calls would.
+//
+// The determinism contract is unchanged: a Solver trial with a given
+// (graph, seed) is byte-identical to a fresh Solve call with the same
+// inputs, in any order, after any number of prior trials, and after
+// cancelled or failed trials (pinned by TestSolverReuseMatchesFreshSolve).
+// A Solver is not safe for concurrent use; run one per goroutine.
+type Solver struct {
+	algo Algorithm
+	opts Options
+
+	draSess  *dra.Session
+	dhc1Sess *core.DHC1Session
+	dhc2Sess *core.DHC2Session
+	upSess   *upcast.Session
+	stepSess *stepsim.Session
+}
+
+// NewSolver validates the configuration up front — unknown algorithm or
+// engine, negative BroadcastBound or MaxRounds — and returns a reusable
+// Solver. Validation here rather than per call means a Solver that
+// constructed successfully cannot fail on configuration later.
+func NewSolver(algo Algorithm, opts Options) (*Solver, error) {
 	if opts.Engine == 0 {
 		opts.Engine = EngineExact
+	}
+	if opts.Engine != EngineExact && opts.Engine != EngineStep {
+		return nil, fmt.Errorf("dhc: unknown engine %d", opts.Engine)
+	}
+	if _, ok := algorithmNames[algo]; !ok {
+		return nil, fmt.Errorf("dhc: unknown algorithm %d", algo)
 	}
 	if opts.BroadcastBound < 0 {
 		// A negative bound would poison the derived round budgets and
@@ -259,61 +397,102 @@ func Solve(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 		// misclassify as a genuine no-cycle outcome; reject it up front.
 		return nil, fmt.Errorf("dhc: broadcast bound %d must be >= 0", opts.BroadcastBound)
 	}
-	switch opts.Engine {
-	case EngineExact:
-		return solveExact(g, algo, opts)
-	case EngineStep:
-		return solveStep(g, algo, opts)
-	default:
-		return nil, fmt.Errorf("dhc: unknown engine %d", opts.Engine)
+	if opts.MaxRounds < 0 {
+		// Same reasoning as BroadcastBound: a negative budget is a usage
+		// error, not a round-limit verdict.
+		return nil, fmt.Errorf("dhc: max rounds %d must be >= 0", opts.MaxRounds)
 	}
+	return &Solver{algo: algo, opts: opts}, nil
 }
 
-func solveExact(g *Graph, algo Algorithm, opts Options) (*Result, error) {
-	// The DHC algorithms own their executor sizing through their core
-	// options (the single source of truth for the knob); the single-phase
-	// algorithms take it via congest.Options directly.
-	netOpts := congest.Options{Workers: opts.Workers, DenseSweep: opts.DenseSweep}
-	switch algo {
+// Algorithm returns the algorithm this solver runs.
+func (s *Solver) Algorithm() Algorithm { return s.algo }
+
+// Options returns the solver's (normalized) configuration.
+func (s *Solver) Options() Options { return s.opts }
+
+// Solve runs one trial on g with the configured Seed, honoring ctx (see
+// SolveContext). Engine state is reused across calls; results never alias it.
+func (s *Solver) Solve(ctx context.Context, g *Graph) (*Result, error) {
+	return s.SolveSeeded(ctx, g, s.opts.Seed)
+}
+
+// SolveSeeded runs one trial on g with an explicit seed, the entry point for
+// Monte Carlo harnesses that vary the seed per trial over one session.
+func (s *Solver) SolveSeeded(ctx context.Context, g *Graph, seed uint64) (*Result, error) {
+	if s.opts.Engine == EngineStep {
+		return s.solveStep(ctx, g, seed)
+	}
+	return s.solveExact(ctx, g, seed)
+}
+
+func (s *Solver) solveExact(ctx context.Context, g *Graph, seed uint64) (*Result, error) {
+	opts := s.opts
+	// The DHC algorithms own their executor sizing and round budget through
+	// their core options (the single source of truth for those knobs); the
+	// single-phase algorithms take both via congest.Options directly.
+	netOpts := congest.Options{
+		Workers:    opts.Workers,
+		DenseSweep: opts.DenseSweep,
+		MaxRounds:  opts.MaxRounds,
+		Progress:   opts.Observer.progress(),
+	}
+	opts.Observer.phase("run")
+	switch s.algo {
 	case AlgorithmDRA:
-		r, err := dra.Run(g, opts.Seed, dra.NodeOptions{BroadcastRounds: opts.BroadcastBound}, netOpts)
+		if s.draSess == nil {
+			s.draSess = dra.NewSession()
+		}
+		r, err := s.draSess.Run(ctx, g, seed, dra.NodeOptions{BroadcastRounds: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
 		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Steps: r.Steps, Counters: r.Counters}, nil
 	case AlgorithmDHC1:
-		r, err := core.RunDHC1(g, opts.Seed, core.DHC1Options{
+		if s.dhc1Sess == nil {
+			s.dhc1Sess = core.NewDHC1Session()
+		}
+		r, err := s.dhc1Sess.Run(ctx, g, seed, core.DHC1Options{
 			NumColors: opts.NumColors,
 			B:         opts.BroadcastBound,
+			MaxRounds: opts.MaxRounds,
 			Workers:   opts.Workers,
-		}, congest.Options{DenseSweep: opts.DenseSweep})
+		}, congest.Options{DenseSweep: opts.DenseSweep, Progress: opts.Observer.progress()})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
 		return fromCoreResult(r), nil
 	case AlgorithmDHC2:
-		r, err := core.RunDHC2(g, opts.Seed, core.DHC2Options{
+		if s.dhc2Sess == nil {
+			s.dhc2Sess = core.NewDHC2Session()
+		}
+		r, err := s.dhc2Sess.Run(ctx, g, seed, core.DHC2Options{
 			Delta:     opts.Delta,
 			NumColors: opts.NumColors,
 			B:         opts.BroadcastBound,
+			MaxRounds: opts.MaxRounds,
 			Workers:   opts.Workers,
-		}, congest.Options{DenseSweep: opts.DenseSweep})
+		}, congest.Options{DenseSweep: opts.DenseSweep, Progress: opts.Observer.progress()})
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
 		return fromCoreResult(r), nil
 	case AlgorithmUpcast:
-		r, err := upcast.Run(g, opts.Seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode, B: opts.BroadcastBound}, netOpts)
+		if s.upSess == nil {
+			s.upSess = upcast.NewSession()
+		}
+		r, err := s.upSess.Run(ctx, g, seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode, B: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
 		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Counters: r.Counters}, nil
 	default:
-		return nil, fmt.Errorf("dhc: unknown algorithm %d", algo)
+		return nil, fmt.Errorf("dhc: unknown algorithm %d", s.algo)
 	}
 }
 
-func solveStep(g *Graph, algo Algorithm, opts Options) (*Result, error) {
+func (s *Solver) solveStep(ctx context.Context, g *Graph, seed uint64) (*Result, error) {
+	opts := s.opts
 	attempts := opts.MaxAttempts
 	if attempts == 0 {
 		attempts = 6
@@ -324,22 +503,26 @@ func solveStep(g *Graph, algo Algorithm, opts Options) (*Result, error) {
 		MaxAttempts: attempts,
 		Workers:     opts.Workers,
 	}
+	if s.stepSess == nil {
+		s.stepSess = stepsim.NewSession()
+	}
+	s.stepSess.Hooks = opts.Observer.hooks()
 	var (
 		hc   *Cycle
 		cost stepsim.Cost
 		err  error
 	)
-	switch algo {
+	switch s.algo {
 	case AlgorithmDRA:
-		hc, cost, err = stepsim.DRA(g, opts.Seed, attempts)
+		hc, cost, err = s.stepSess.DRA(ctx, g, seed, attempts)
 	case AlgorithmDHC1:
-		hc, cost, err = stepsim.DHC1(g, opts.Seed, simOpts)
+		hc, cost, err = s.stepSess.DHC1(ctx, g, seed, simOpts)
 	case AlgorithmDHC2:
-		hc, cost, err = stepsim.DHC2(g, opts.Seed, simOpts)
+		hc, cost, err = s.stepSess.DHC2(ctx, g, seed, simOpts)
 	case AlgorithmUpcast:
-		hc, cost, err = stepsim.Upcast(g, opts.Seed, opts.SamplesPerNode)
+		hc, cost, err = s.stepSess.Upcast(ctx, g, seed, opts.SamplesPerNode)
 	default:
-		return nil, fmt.Errorf("dhc: unknown algorithm %d", algo)
+		return nil, fmt.Errorf("dhc: unknown algorithm %d", s.algo)
 	}
 	if err != nil {
 		return nil, wrapNoHC(err)
@@ -357,6 +540,7 @@ func fromCoreResult(r *core.Result) *Result {
 	return &Result{
 		Cycle:        r.Cycle,
 		Rounds:       r.Counters.Rounds,
+		Steps:        r.Steps,
 		Counters:     r.Counters,
 		Phase1Rounds: r.Phase1Rounds,
 		Phase2Rounds: r.Counters.Rounds - r.Phase1Rounds,

@@ -1,0 +1,53 @@
+// Package arena holds the small scaffolding helpers shared by the reusable
+// run-session layers: bounded worker pools with the deterministic-merge
+// discipline, and slice sizing that recovers shrunken capacity. It sits
+// below every driver package so the session types cannot drift apart on
+// these semantics.
+package arena
+
+import "sync"
+
+// RunPool runs fn(worker, item) for every item in [0, items): inline (as
+// worker 0) when workers <= 1, else on a bounded pool of min(workers, items)
+// goroutines. fn must only write state owned by its item or its worker
+// index; callers get determinism by folding per-item results in item order
+// afterwards.
+func RunPool(workers, items int, fn func(worker, item int)) {
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < items; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Resize returns s with length n, recovering shrunken capacity (and the
+// pointer values it holds) before allocating, so session program slices keep
+// their reusable elements across runs of varying size.
+func Resize[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	next := make([]T, n)
+	copy(next, s[:cap(s)])
+	return next
+}

@@ -33,7 +33,15 @@ func (e EngineMode) Name() string {
 	}
 }
 
-// ParseEngineMode resolves one engine column name.
+// EngineModeNames returns the engine-column vocabulary in sorted order —
+// exactly the spelling ParseEngineMode's error reports.
+func EngineModeNames() []string {
+	return []string{"exact", "exact-dense", "step"}
+}
+
+// ParseEngineMode resolves one engine column name. The error of an unknown
+// name lists the valid names deterministically (sorted), so CLI messages are
+// stable across runs.
 func ParseEngineMode(s string) (EngineMode, error) {
 	switch s {
 	case "step":
@@ -43,7 +51,7 @@ func ParseEngineMode(s string) (EngineMode, error) {
 	case "exact-dense":
 		return EngineMode{Engine: dhc.EngineExact, Dense: true}, nil
 	default:
-		return EngineMode{}, fmt.Errorf("unknown engine %q", s)
+		return EngineMode{}, fmt.Errorf("unknown engine %q (valid: %s)", s, strings.Join(EngineModeNames(), ", "))
 	}
 }
 

@@ -50,8 +50,21 @@ type Record struct {
 	BroadcastBound int64 `json:"broadcast_bound,omitempty"`
 	// Workers is the worker-pool bound the run was measured at.
 	Workers int `json:"workers"`
+	// Mode distinguishes solver-lifecycle benchmark rows: "" for ordinary
+	// single-run records, "fresh" for a repeated-trial series through
+	// independent Solve calls, "reuse" for the same series through one
+	// reusable Solver session. Rows differing only in "fresh" vs "reuse"
+	// measure the session-reuse speedup.
+	Mode string `json:"mode,omitempty"`
+	// Trials is the number of repeated trials a Mode row aggregates (0 for
+	// ordinary records, which measure exactly one run).
+	Trials int `json:"trials,omitempty"`
+	// TrialsPerSec is Trials/WallSeconds for Mode rows — the repeated-trial
+	// throughput this PR series tracks.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
 	// WallSeconds is the Solve call's wall-clock time (graph generation
 	// excluded — graphs are built once and shared across the worker grid).
+	// For Mode rows it is the whole series' wall-clock.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Rounds/Steps and the phase split are the run's charged or measured
 	// costs, byte-identical across Workers values by the determinism
@@ -116,13 +129,20 @@ type CellStats struct {
 	// spellings as Record ("dra", ... / "step", "exact", "exact-dense").
 	Algo   string `json:"algo"`
 	Engine string `json:"engine"`
-	// Trials is the cell's trial count; the four outcome counters below
-	// partition it (Successes + FailNoHC + FailRoundLimit + FailError).
+	// Trials is the cell's trial count; the five outcome counters below
+	// partition it (Successes + FailNoHC + FailRoundLimit + FailError +
+	// FailCanceled).
 	Trials         int `json:"trials"`
 	Successes      int `json:"successes"`
 	FailNoHC       int `json:"fail_no_hc,omitempty"`
 	FailRoundLimit int `json:"fail_round_limit,omitempty"`
 	FailError      int `json:"fail_error,omitempty"`
+	// FailCanceled counts trials cut off by a per-cell timeout or an
+	// operator interrupt. Unlike every other field it is wall-clock
+	// dependent, so a canceled cell is never byte-stable: the sweep
+	// pipeline refuses to resume from it (the cell re-runs) and -validate
+	// rejects reports that still carry one.
+	FailCanceled int `json:"fail_canceled,omitempty"`
 	// SuccessRate is Successes/Trials, the Monte Carlo estimate of the
 	// paper's "w.h.p." success probability at this grid point.
 	SuccessRate float64 `json:"success_rate"`
@@ -269,6 +289,12 @@ func (r *Report) Validate() error {
 		if rec.Workers < 0 {
 			return fmt.Errorf("bench: record %d has workers = %d", i, rec.Workers)
 		}
+		if rec.Mode != "" && rec.Mode != "fresh" && rec.Mode != "reuse" {
+			return fmt.Errorf("bench: record %d has unknown mode %q", i, rec.Mode)
+		}
+		if rec.Mode != "" && rec.Trials <= 0 {
+			return fmt.Errorf("bench: record %d mode %q needs trials > 0", i, rec.Mode)
+		}
 		if rec.WallSeconds < 0 {
 			return fmt.Errorf("bench: record %d has negative wall time", i)
 		}
@@ -308,7 +334,7 @@ func (s *SweepSection) validate() error {
 		if c.Trials <= 0 {
 			return fmt.Errorf("bench: sweep cell %d has %d trials", i, c.Trials)
 		}
-		if c.Successes+c.FailNoHC+c.FailRoundLimit+c.FailError != c.Trials {
+		if c.Successes+c.FailNoHC+c.FailRoundLimit+c.FailError+c.FailCanceled != c.Trials {
 			return fmt.Errorf("bench: sweep cell %d outcome counts do not partition %d trials", i, c.Trials)
 		}
 		if got, want := c.SuccessRate, float64(c.Successes)/float64(c.Trials); got != want {
@@ -337,12 +363,14 @@ func (r *Report) FailedRecords() []int {
 
 // Speedup returns wall-clock ratio base/test between the first records
 // matching (algo, engine, n) at the two worker counts, and false when either
-// side is missing or failed. It is the accessor the perf trajectory is read
-// through: Speedup(..., 1, 8) > 1 means workers=8 beat workers=1.
+// side is missing or failed. Mode rows (fresh/reuse series) are excluded:
+// their WallSeconds aggregates a whole trial series and would corrupt a
+// single-run ratio. It is the accessor the perf trajectory is read through:
+// Speedup(..., 1, 8) > 1 means workers=8 beat workers=1.
 func (r *Report) Speedup(algo, engine string, n, baseWorkers, testWorkers int) (float64, bool) {
 	find := func(workers int) (Record, bool) {
 		for _, rec := range r.Records {
-			if rec.Algo == algo && rec.Engine == engine && rec.N == n && rec.Workers == workers && rec.OK {
+			if rec.Algo == algo && rec.Engine == engine && rec.N == n && rec.Workers == workers && rec.OK && rec.Mode == "" {
 				return rec, true
 			}
 		}

@@ -159,6 +159,7 @@ func TestSweepValidationRejects(t *testing.T) {
 		{"bad-n", func(r *Report) { r.Sweep.Cells[0].N = 0 }, "has n"},
 		{"no-trials", func(r *Report) { r.Sweep.Cells[0].Trials = 0 }, "trials"},
 		{"bad-partition", func(r *Report) { r.Sweep.Cells[0].FailNoHC = 5 }, "partition"},
+		{"canceled-breaks-partition", func(r *Report) { r.Sweep.Cells[0].FailCanceled = 1 }, "partition"},
 		{"bad-rate", func(r *Report) { r.Sweep.Cells[0].SuccessRate = 0.5 }, "success rate"},
 		{"dup-cell", func(r *Report) { r.Sweep.Cells = append(r.Sweep.Cells, r.Sweep.Cells[0]) }, "duplicate"},
 	}
@@ -172,6 +173,67 @@ func TestSweepValidationRejects(t *testing.T) {
 				t.Fatalf("got %v, want error containing %q", err, tc.substr)
 			}
 		})
+	}
+}
+
+// TestCanceledTrialsPartition pins the five-way outcome partition: a cell
+// whose trials were cut off by a timeout/interrupt is schema-valid exactly
+// when FailCanceled participates in the partition.
+func TestCanceledTrialsPartition(t *testing.T) {
+	r := NewReport("test-rev", "go1.x", 4)
+	r.Sweep = sampleSweep()
+	c := &r.Sweep.Cells[0]
+	c.FailCanceled = c.Successes
+	c.Successes = 0
+	c.SuccessRate = 0
+	if err := r.Validate(); err != nil {
+		t.Fatalf("canceled-partitioned cell rejected: %v", err)
+	}
+}
+
+// TestModeRecordValidation pins the solver-lifecycle record fields: modes
+// outside the fresh/reuse vocabulary and mode rows without a trial count are
+// rejected; a well-formed reuse row round-trips.
+func TestModeRecordValidation(t *testing.T) {
+	r := sampleReport()
+	r.Records[0].Mode = "reuse"
+	r.Records[0].Trials = 16
+	r.Records[0].TrialsPerSec = 64
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Records[0].Mode != "reuse" || got.Records[0].Trials != 16 || got.Records[0].TrialsPerSec != 64 {
+		t.Fatalf("mode record mangled: %+v", got.Records[0])
+	}
+
+	bad := sampleReport()
+	bad.Records[0].Mode = "warp"
+	bad.Records[0].Trials = 4
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("unknown mode accepted: %v", err)
+	}
+	bad = sampleReport()
+	bad.Records[0].Mode = "fresh"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "trials > 0") {
+		t.Fatalf("mode row without trials accepted: %v", err)
+	}
+}
+
+// TestEngineModeParseError pins the deterministic (sorted) vocabulary
+// listing of the engine parse error, per the CLI-stability satellite.
+func TestEngineModeParseError(t *testing.T) {
+	_, err := ParseEngineMode("warp")
+	if err == nil {
+		t.Fatal("bad engine name accepted")
+	}
+	want := `unknown engine "warp" (valid: exact, exact-dense, step)`
+	if err.Error() != want {
+		t.Fatalf("ParseEngineMode error = %q, want %q", err.Error(), want)
 	}
 }
 

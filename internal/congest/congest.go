@@ -41,6 +41,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -238,33 +239,69 @@ type Options struct {
 	// FaultHook, if non-nil, intercepts every delivery: return false to
 	// drop the message, or return a mutated copy. Used by robustness tests.
 	FaultHook func(round int64, from, to graph.NodeID, m wire.Message) (wire.Message, bool)
+	// Progress, if non-nil, is called with the charged round total at the
+	// engine's amortized checkpoint (every ctxCheckEvery executed rounds,
+	// the same cadence cancellation is polled at). It observes only — a run
+	// is byte-identical with or without it — and must be fast: it runs on
+	// the engine's round loop.
+	Progress func(rounds int64)
 }
 
-// Network binds node programs to a graph and executes rounds.
+// Network binds node programs to a graph and executes rounds. A Network is
+// reusable: Reset rebinds it to a new graph and program set, and runs on a
+// same-sized graph recycle the per-run arena (persistent node Contexts, inbox
+// buckets, the wake-schedule heap, the outbox concatenation buffer, the
+// bandwidth stamps) instead of reallocating it, which is what makes repeated
+// solver trials cheap. A Network is not safe for concurrent runs.
 type Network struct {
 	g     *graph.Graph
 	nodes []Node
 	codec wire.Codec
 	opts  Options
+	// arena is the reusable per-run storage; nil until the first run, and
+	// dropped when Reset changes the network size.
+	arena *runState
 }
+
+// ctxCheckEvery is the engine's amortized checkpoint cadence: cancellation is
+// polled and Progress fired once per this many executed rounds, so the hot
+// loop pays one context poll per batch instead of per round and a run that is
+// never cancelled stays byte-identical to one run without a context.
+const ctxCheckEvery = 64
 
 // NewNetwork creates a network over g with one Node program per vertex.
 // len(nodes) must equal g.N().
 func NewNetwork(g *graph.Graph, nodes []Node, opts Options) (*Network, error) {
-	if len(nodes) != g.N() {
-		return nil, fmt.Errorf("congest: %d node programs for %d vertices", len(nodes), g.N())
+	n := &Network{}
+	if err := n.Reset(g, nodes, opts); err != nil {
+		return nil, err
 	}
-	codec := wire.NewCodec(g.N())
+	return n, nil
+}
+
+// Reset rebinds the network to a new graph and program set, normalizing opts
+// exactly like NewNetwork. When the vertex count is unchanged the codec and
+// the per-run arena are kept, so the next run reuses every engine-side
+// allocation; a size change drops both.
+func (n *Network) Reset(g *graph.Graph, nodes []Node, opts Options) error {
+	if len(nodes) != g.N() {
+		return fmt.Errorf("congest: %d node programs for %d vertices", len(nodes), g.N())
+	}
+	if n.g == nil || n.g.N() != g.N() {
+		n.codec = wire.NewCodec(g.N())
+		n.arena = nil
+	}
 	if opts.BandwidthBits == 0 {
-		opts.BandwidthBits = int64(8 * codec.IDBits)
+		opts.BandwidthBits = int64(8 * n.codec.IDBits)
 	}
 	if opts.MaxRounds == 0 {
-		opts.MaxRounds = 64*int64(g.N())*int64(codec.IDBits) + 1024
+		opts.MaxRounds = 64*int64(g.N())*int64(n.codec.IDBits) + 1024
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
-	return &Network{g: g, nodes: nodes, codec: codec, opts: opts}, nil
+	n.g, n.nodes, n.opts = g, nodes, opts
+	return nil
 }
 
 // Codec returns the codec sizing messages for this network.
@@ -273,12 +310,27 @@ func (n *Network) Codec() wire.Codec { return n.codec }
 // Run executes the network until every node halts. It returns the metered
 // counters; on failure the counters reflect the partial run.
 func (n *Network) Run(seed uint64) (*metrics.Counters, error) {
+	return n.RunContext(context.Background(), seed)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at the
+// amortized checkpoint (every ctxCheckEvery executed rounds), and a cancelled
+// run stops between rounds and returns ctx's error (matchable with errors.Is
+// against context.Canceled / context.DeadlineExceeded) with the counters of
+// the partial run. Cancellation never corrupts the network: the next run
+// resets the arena, so an uncancelled rerun of the same seed is byte-identical
+// to a run that was never cancelled.
+func (n *Network) RunContext(ctx context.Context, seed uint64) (*metrics.Counters, error) {
 	state, exec, counters := n.newRun(seed)
+	if err := ctx.Err(); err != nil {
+		return counters, fmt.Errorf("congest: run canceled before round 0: %w", err)
+	}
 
 	// Init phase (round 0).
 	if err := exec.step(0, true); err != nil {
 		return counters, err
 	}
+	sinceCheck := 0
 	for round := int64(1); ; round++ {
 		if state.live == 0 {
 			return counters, nil
@@ -303,21 +355,39 @@ func (n *Network) Run(seed uint64) (*metrics.Counters, error) {
 		} else {
 			counters.Rounds++
 		}
+		if sinceCheck++; sinceCheck >= ctxCheckEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return counters, fmt.Errorf("congest: run canceled in round %d: %w", round, err)
+			}
+			if n.opts.Progress != nil {
+				n.opts.Progress(counters.Rounds)
+			}
+		}
 		if err := exec.step(round, false); err != nil {
 			return counters, err
 		}
 	}
 }
 
-// newRun allocates the per-run storage and executor driving one execution;
-// split from Run so white-box tests can step rounds individually.
+// newRun readies the per-run storage and executor driving one execution,
+// recycling the arena of a previous same-sized run; split from Run so
+// white-box tests can step rounds individually.
 func (n *Network) newRun(seed uint64) (*runState, *executor, *metrics.Counters) {
-	counters := metrics.NewCounters(n.g.N())
+	N := n.g.N()
+	counters := metrics.NewCounters(N)
+	if n.arena == nil {
+		n.arena = newRunState(N)
+		for v := 0; v < N; v++ {
+			n.arena.rngs[v] = &rng.Source{}
+			n.arena.ctxs[v] = &Context{net: n, id: graph.NodeID(v), rng: n.arena.rngs[v]}
+		}
+	}
+	state := n.arena
+	state.reset()
 	root := rng.New(seed)
-	state := newRunState(n.g.N())
-	for v := 0; v < n.g.N(); v++ {
-		state.rngs[v] = root.Split(uint64(v))
-		state.ctxs[v] = &Context{net: n, id: graph.NodeID(v), rng: state.rngs[v]}
+	for v := 0; v < N; v++ {
+		root.SplitInto(state.rngs[v], uint64(v))
 	}
 	return state, newExecutor(n, state, counters), counters
 }
@@ -375,6 +445,26 @@ func newRunState(n int) *runState {
 		bwStamp:  make([]int64, n),
 		bwBits:   make([]int64, n),
 	}
+}
+
+// reset restores the arena to its pre-run state while keeping every backing
+// array (inbox buckets, outbox concatenation buffer, heap storage, context
+// outboxes), so a rerun on a same-sized graph allocates nothing up front.
+// The bandwidth stamps are left as-is: generations are monotonically
+// increasing across runs, so stale stamps can never match a fresh generation.
+func (s *runState) reset() {
+	n := len(s.halted)
+	for v := 0; v < n; v++ {
+		s.halted[v] = false
+		s.inActive[v] = false
+		s.inboxes[v] = s.inboxes[v][:0]
+	}
+	s.live = n
+	s.out = s.out[:0]
+	s.msgActive = s.msgActive[:0]
+	s.active = s.active[:0]
+	s.dueScratch = s.dueScratch[:0]
+	s.sched.reset()
 }
 
 // nextActiveRound returns the earliest round >= round in which any node must

@@ -26,16 +26,24 @@ type wakeEntry struct {
 
 func newScheduler(n int) scheduler {
 	s := scheduler{
-		nextWake:   make([]int64, n),
-		every:      make([]int64, n),
-		legacy:     make([]bool, n),
-		legacyLive: n,
+		nextWake: make([]int64, n),
+		every:    make([]int64, n),
+		legacy:   make([]bool, n),
 	}
+	s.reset()
+	return s
+}
+
+// reset restores the schedule to its initial all-legacy state, keeping the
+// heap's backing array for reuse across runs.
+func (s *scheduler) reset() {
 	for v := range s.nextWake {
 		s.nextWake[v] = -1
+		s.every[v] = 0
 		s.legacy[v] = true
 	}
-	return s
+	s.legacyLive = len(s.legacy)
+	s.heap = s.heap[:0]
 }
 
 // arm guarantees node v is woken no later than round w ("no later": an

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"dhc/internal/arena"
 	"dhc/internal/congest"
 	"dhc/internal/cycle"
 	"dhc/internal/dra"
@@ -23,6 +25,9 @@ type DHC1Options struct {
 	// HyperMaxSteps overrides the Phase 2 hypernode rotation budget
 	// (default 4 × the Theorem 2 budget for K, covering probe rejections).
 	HyperMaxSteps int64
+	// MaxRounds overrides the simulator's round budget when the caller's
+	// congest.Options leaves it unset (0 keeps the derived default).
+	MaxRounds int64
 	// Workers sizes the simulator's parallel executor when the caller's
 	// congest.Options leaves it unset; both phases run on the pool. Any
 	// value produces identical results; only wall-clock changes.
@@ -103,6 +108,26 @@ func (d *dhc1Node) Round(ctx *congest.Context, inbox []congest.Envelope) {
 
 // RunDHC1 executes DHC1 on g and returns the verified Hamiltonian cycle.
 func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Options) (*Result, error) {
+	return NewDHC1Session().Run(context.Background(), g, seed, opts, netOpts)
+}
+
+// DHC1Session is a reusable DHC1 runner: the per-node program slice, the
+// simulator Network, and its run arena survive across Run calls, so repeated
+// trials on same-sized graphs skip the engine-side allocations. Not safe for
+// concurrent use.
+type DHC1Session struct {
+	progs []*dhc1Node
+	nodes []congest.Node
+	net   *congest.Network
+}
+
+// NewDHC1Session returns an empty session; the first Run sizes it.
+func NewDHC1Session() *DHC1Session { return &DHC1Session{} }
+
+// Run executes one DHC1 trial, honoring ctx at the simulator's amortized
+// cancellation checkpoint. A cancelled run returns ctx's error and leaves
+// the session reusable.
+func (sess *DHC1Session) Run(ctx context.Context, g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Options) (*Result, error) {
 	n := g.N()
 	if n < 3 {
 		return nil, fmt.Errorf("core: need n >= 3, got %d", n)
@@ -123,6 +148,9 @@ func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Opti
 	}
 	cfg := phase1Config{NumColors: int32(numColors), B: b, MaxSteps: opts.MaxSteps}
 	if netOpts.MaxRounds == 0 {
+		netOpts.MaxRounds = opts.MaxRounds
+	}
+	if netOpts.MaxRounds == 0 {
 		scope := 3 * n / numColors
 		steps := rotation.DefaultMaxSteps(scope)
 		hyperSteps := 4 * rotation.DefaultMaxSteps(numColors)
@@ -131,17 +159,24 @@ func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Opti
 	if netOpts.Workers == 0 {
 		netOpts.Workers = opts.Workers
 	}
-	progs := make([]*dhc1Node, n)
-	nodes := make([]congest.Node, n)
-	for i := range nodes {
-		progs[i] = &dhc1Node{cfg: cfg, numK: int32(numColors), hyperMax: opts.HyperMaxSteps}
-		nodes[i] = progs[i]
+	sess.progs = arena.Resize(sess.progs, n)
+	sess.nodes = arena.Resize(sess.nodes, n)
+	for i := 0; i < n; i++ {
+		if sess.progs[i] == nil {
+			sess.progs[i] = &dhc1Node{}
+		}
+		*sess.progs[i] = dhc1Node{cfg: cfg, numK: int32(numColors), hyperMax: opts.HyperMaxSteps}
+		sess.nodes[i] = sess.progs[i]
 	}
-	net, err := congest.NewNetwork(g, nodes, netOpts)
-	if err != nil {
+	if sess.net == nil {
+		sess.net = new(congest.Network)
+	}
+	// Reset handles first bind and rebind alike (NewNetwork is just a Reset
+	// on a zero Network), so the sessions cannot drift on bind semantics.
+	if err := sess.net.Reset(g, sess.nodes, netOpts); err != nil {
 		return nil, err
 	}
-	counters, err := net.Run(seed)
+	counters, err := sess.net.RunContext(ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("dhc1: %w", err)
 	}
@@ -149,7 +184,7 @@ func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Opti
 		Counters:       counters,
 		PartitionSizes: make([]int, numColors),
 	}
-	hc, err := extractDHC1(g, progs, numColors, res)
+	hc, err := extractDHC1(g, sess.progs, numColors, res)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +205,8 @@ func extractDHC1(g *graph.Graph, progs []*dhc1Node, numColors int, res *Result) 
 	hyps := make([]hyp, numColors)
 	succ := make([]graph.NodeID, n)
 	pred := make([]graph.NodeID, n)
+	colorSteps := make([]int64, numColors)
+	var hyperSteps int64
 	for v, p := range progs {
 		if !p.p1.succeeded() {
 			return nil, fmt.Errorf("%w: node %d partition DRA failed", ErrNoHC, v)
@@ -180,11 +217,17 @@ func extractDHC1(g *graph.Graph, progs []*dhc1Node, numColors int, res *Result) 
 			return nil, fmt.Errorf("%w: node %d has invalid color %d", ErrNoHC, v, c)
 		}
 		res.PartitionSizes[c]++
+		if s := p.p1.draSteps(); s > colorSteps[c] {
+			colorSteps[c] = s
+		}
 		succ[v] = p.p1.dra.Succ()
 		pred[v] = p.p1.dra.Pred()
 		if numColors > 1 {
 			if p.hp.status != dra.Succeeded {
 				return nil, fmt.Errorf("%w: node %d phase 2 status %d", ErrNoHC, v, p.hp.status)
+			}
+			if p.hp.steps > hyperSteps {
+				hyperSteps = p.hp.steps
 			}
 			if p.hp.isUPort {
 				hyps[c].u = graph.NodeID(v)
@@ -196,6 +239,10 @@ func extractDHC1(g *graph.Graph, progs []*dhc1Node, numColors int, res *Result) 
 			}
 		}
 	}
+	for _, s := range colorSteps {
+		res.Steps += s
+	}
+	res.Steps += hyperSteps
 	if numColors == 1 {
 		hc, err := cycle.FromSuccessors(succMap(succ), 0)
 		if err != nil {

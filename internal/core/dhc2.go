@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"dhc/internal/arena"
 	"dhc/internal/congest"
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
@@ -30,6 +32,9 @@ type DHC2Options struct {
 	B int64
 	// MaxSteps overrides the per-partition DRA step budget.
 	MaxSteps int64
+	// MaxRounds overrides the simulator's round budget when the caller's
+	// congest.Options leaves it unset (0 keeps the derived default).
+	MaxRounds int64
 	// Workers sizes the simulator's parallel executor when the caller's
 	// congest.Options leaves it unset, so one knob drives every phase of the
 	// run — the phase-1 partition DRAs and the phase-2 merge levels both
@@ -96,6 +101,13 @@ type Result struct {
 	Counters *metrics.Counters
 	// PartitionSizes are the Phase 1 color-class sizes.
 	PartitionSizes []int
+	// Steps is the rotation-step total across phases: the per-partition DRA
+	// step counts (every attempt, summed over partitions — the partitions
+	// run concurrently but steps meter work, not time) plus, for DHC1, the
+	// phase-2 hypernode rotation steps. It mirrors the step engine's Cost.
+	// Steps accounting so the crosscheck suite can pin the two engines
+	// against each other.
+	Steps int64
 	// Phase1Rounds is the common Phase 2 start round, i.e. the cost of
 	// Phase 1 including its barrier.
 	Phase1Rounds int64
@@ -123,6 +135,26 @@ func intLog2(n int) int {
 
 // RunDHC2 executes DHC2 on g and returns the verified Hamiltonian cycle.
 func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Options) (*Result, error) {
+	return NewDHC2Session().Run(context.Background(), g, seed, opts, netOpts)
+}
+
+// DHC2Session is a reusable DHC2 runner: the per-node program slice, the
+// simulator Network, and its run arena survive across Run calls, so repeated
+// trials on same-sized graphs skip the engine-side allocations. Not safe for
+// concurrent use.
+type DHC2Session struct {
+	progs []*dhc2Node
+	nodes []congest.Node
+	net   *congest.Network
+}
+
+// NewDHC2Session returns an empty session; the first Run sizes it.
+func NewDHC2Session() *DHC2Session { return &DHC2Session{} }
+
+// Run executes one DHC2 trial, honoring ctx at the simulator's amortized
+// cancellation checkpoint. A cancelled run returns ctx's error and leaves
+// the session reusable.
+func (sess *DHC2Session) Run(ctx context.Context, g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Options) (*Result, error) {
 	n := g.N()
 	if n < 3 {
 		return nil, fmt.Errorf("core: need n >= 3, got %d", n)
@@ -149,22 +181,32 @@ func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Opti
 	}
 	cfg := phase1Config{NumColors: int32(numColors), B: b, MaxSteps: opts.MaxSteps}
 	if netOpts.MaxRounds == 0 {
+		netOpts.MaxRounds = opts.MaxRounds
+	}
+	if netOpts.MaxRounds == 0 {
 		netOpts.MaxRounds = dhc2RoundBudget(n, numColors, b)
 	}
 	if netOpts.Workers == 0 {
 		netOpts.Workers = opts.Workers
 	}
-	progs := make([]*dhc2Node, n)
-	nodes := make([]congest.Node, n)
-	for i := range nodes {
-		progs[i] = &dhc2Node{cfg: cfg}
-		nodes[i] = progs[i]
+	sess.progs = arena.Resize(sess.progs, n)
+	sess.nodes = arena.Resize(sess.nodes, n)
+	for i := 0; i < n; i++ {
+		if sess.progs[i] == nil {
+			sess.progs[i] = &dhc2Node{}
+		}
+		*sess.progs[i] = dhc2Node{cfg: cfg}
+		sess.nodes[i] = sess.progs[i]
 	}
-	net, err := congest.NewNetwork(g, nodes, netOpts)
-	if err != nil {
+	if sess.net == nil {
+		sess.net = new(congest.Network)
+	}
+	// Reset handles first bind and rebind alike (NewNetwork is just a Reset
+	// on a zero Network), so the sessions cannot drift on bind semantics.
+	if err := sess.net.Reset(g, sess.nodes, netOpts); err != nil {
 		return nil, err
 	}
-	counters, err := net.Run(seed)
+	counters, err := sess.net.RunContext(ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("dhc2: %w", err)
 	}
@@ -173,16 +215,23 @@ func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Opti
 		PartitionSizes: make([]int, numColors),
 		MergeLevels:    int((&mergePhase{K: int32(numColors)}).levels()),
 	}
+	colorSteps := make([]int64, numColors)
 	succ := make(map[graph.NodeID]graph.NodeID, n)
-	for v, p := range progs {
+	for v, p := range sess.progs {
 		if !p.p1.succeeded() {
 			return nil, fmt.Errorf("%w: node %d partition DRA failed", ErrNoHC, v)
 		}
 		if c := int(p.p1.color); c >= 0 && c < numColors {
 			res.PartitionSizes[c]++
+			if s := p.p1.draSteps(); s > colorSteps[c] {
+				colorSteps[c] = s
+			}
 		}
 		res.Phase1Rounds = p.p1.phase2Start
 		succ[graph.NodeID(v)] = p.mp.succ
+	}
+	for _, s := range colorSteps {
+		res.Steps += s
 	}
 	hc, err := cycle.FromSuccessors(succ, 0)
 	if err != nil {

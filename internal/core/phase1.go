@@ -80,6 +80,9 @@ type phase1 struct {
 	scopeSize int
 	attempts  int
 	restartAt int64
+	// stepsPrior accumulates the rotation steps of failed DRA sessions, so
+	// the partition's total step count survives the in-place session restart.
+	stepsPrior int64
 
 	phase2Start int64 // common start round for Phase 2, set at barrier release
 	arrived     bool
@@ -200,6 +203,7 @@ func (p *phase1) tickDRA(ctx *congest.Context, inbox []congest.Envelope) bool {
 		if ctx.Round() >= p.restartAt {
 			p.attempts++
 			p.restartAt = 0
+			p.stepsPrior += p.dra.Steps()
 			p.dra = p.newDRAState(ctx, ctx.Round()+1)
 		}
 		ctx.ObserveMemory(p.memoryWords())
@@ -258,7 +262,7 @@ func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State 
 	if maxSteps == 0 {
 		maxSteps = rotation.DefaultMaxSteps(p.scopeSize)
 	}
-	return dra.NewState(ctx, dra.Params{
+	params := dra.Params{
 		ScopeSize:       p.scopeSize,
 		IsInitialHead:   p.leader,
 		ScopeNeighbors:  p.scopeNbrs,
@@ -266,7 +270,15 @@ func (p *phase1) newDRAState(ctx *congest.Context, startRound int64) *dra.State 
 		StartRound:      startRound,
 		Tag:             tagPhase1DRA + int32(p.attempts),
 		MaxSteps:        maxSteps,
-	})
+	}
+	if p.dra != nil {
+		// Session restart: recycle the failed machine's allocations. The old
+		// session's state is fully dead — stale floods are filtered by the
+		// per-attempt tag and the quiet period has drained them.
+		p.dra.Reset(ctx, params)
+		return p.dra
+	}
+	return dra.NewState(ctx, params)
 }
 
 func (p *phase1) sendCandidates(ctx *congest.Context) {
@@ -327,4 +339,15 @@ func (p *phase1) treeNeighbors(ctx *congest.Context) []graph.NodeID {
 // succeeded reports whether this node's partition completed its subcycle.
 func (p *phase1) succeeded() bool {
 	return p.dra != nil && p.dra.Status() == dra.Succeeded
+}
+
+// draSteps returns this node's view of the partition's total rotation-step
+// count across every DRA session, including failed attempts — the same
+// accounting the step engine charges.
+func (p *phase1) draSteps() int64 {
+	steps := p.stepsPrior
+	if p.dra != nil {
+		steps += p.dra.Steps()
+	}
+	return steps
 }

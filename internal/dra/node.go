@@ -1,9 +1,11 @@
 package dra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"dhc/internal/arena"
 	"dhc/internal/congest"
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
@@ -42,7 +44,7 @@ func (d *Node) Init(ctx *congest.Context) {
 	if b == 0 {
 		b = int64(ctx.N())
 	}
-	d.state = NewState(ctx, Params{
+	p := Params{
 		ScopeSize:       ctx.N(),
 		IsInitialHead:   ctx.ID() == 0,
 		ScopeNeighbors:  ctx.Neighbors(),
@@ -50,7 +52,14 @@ func (d *Node) Init(ctx *congest.Context) {
 		StartRound:      1,
 		Tag:             1,
 		MaxSteps:        d.opts.MaxSteps,
-	})
+	}
+	if d.state == nil {
+		d.state = NewState(ctx, p)
+	} else {
+		// Session reuse: the retained state machine from a prior trial is
+		// reinitialized in place, keeping its allocations.
+		d.state.Reset(ctx, p)
+	}
 	d.armWake(ctx)
 }
 
@@ -84,6 +93,26 @@ type Result struct {
 // cycle assembled from the per-node successor pointers. The cycle is
 // verified against g before returning.
 func Run(g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options) (*Result, error) {
+	return NewSession().Run(context.Background(), g, seed, opts, netOpts)
+}
+
+// Session is a reusable standalone-DRA runner: the node programs (with their
+// per-node state machines), the simulator Network, and its run arena survive
+// across Run calls, so repeated trials on same-sized graphs allocate only
+// what a single trial's execution needs. Not safe for concurrent use.
+type Session struct {
+	progs []*Node
+	nodes []congest.Node
+	net   *congest.Network
+}
+
+// NewSession returns an empty session; the first Run sizes it.
+func NewSession() *Session { return &Session{} }
+
+// Run executes one DRA trial, honoring ctx at the simulator's amortized
+// cancellation checkpoint. A cancelled run returns ctx's error and leaves
+// the session reusable.
+func (sess *Session) Run(ctx context.Context, g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options) (*Result, error) {
 	if g.N() < 3 {
 		return nil, fmt.Errorf("dra: need n >= 3, got %d", g.N())
 	}
@@ -101,22 +130,16 @@ func Run(g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options)
 		// for the terminal broadcast.
 		netOpts.MaxRounds = maxSteps*(opts.BroadcastRounds+3) + 1024
 	}
-	nodes := make([]congest.Node, g.N())
-	progs := make([]*Node, g.N())
-	for i := range nodes {
-		progs[i] = &Node{opts: opts}
-		nodes[i] = progs[i]
-	}
-	net, err := congest.NewNetwork(g, nodes, netOpts)
-	if err != nil {
+	sess.bind(g, opts)
+	if err := sess.resetNet(g, netOpts); err != nil {
 		return nil, err
 	}
-	counters, err := net.Run(seed)
+	counters, err := sess.net.RunContext(ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("dra: %w", err)
 	}
 	states := make([]*State, g.N())
-	for i, p := range progs {
+	for i, p := range sess.progs {
 		states[i] = p.state
 	}
 	hc, steps, err := ExtractCycle(g, states)
@@ -124,6 +147,30 @@ func Run(g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options)
 		return nil, err
 	}
 	return &Result{Cycle: hc, Counters: counters, Steps: steps}, nil
+}
+
+// bind sizes the program slices to g and refreshes per-run options, keeping
+// prior Node values (and their retained state machines) for reuse.
+func (sess *Session) bind(g *graph.Graph, opts NodeOptions) {
+	n := g.N()
+	sess.progs = arena.Resize(sess.progs, n)
+	sess.nodes = arena.Resize(sess.nodes, n)
+	for i := 0; i < n; i++ {
+		if sess.progs[i] == nil {
+			sess.progs[i] = &Node{}
+		}
+		sess.progs[i].opts = opts
+		sess.nodes[i] = sess.progs[i]
+	}
+}
+
+// resetNet rebinds the session's simulator; Reset handles first bind and
+// rebind alike (NewNetwork is just a Reset on a zero Network).
+func (sess *Session) resetNet(g *graph.Graph, netOpts congest.Options) error {
+	if sess.net == nil {
+		sess.net = new(congest.Network)
+	}
+	return sess.net.Reset(g, sess.nodes, netOpts)
 }
 
 // ExtractCycle reconstructs and verifies the Hamiltonian cycle from per-node

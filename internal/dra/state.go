@@ -96,24 +96,33 @@ type State struct {
 // NewState initializes the machine for one node. ctx is the Init (or current
 // round) context; the unused list is the node's in-scope neighbors.
 func NewState(ctx *congest.Context, p Params) *State {
+	s := &State{}
+	s.Reset(ctx, p)
+	return s
+}
+
+// Reset reinitializes the machine in place for a fresh session, reusing the
+// unused-list allocation — the restart and solver-session reuse path that
+// keeps repeated instances from reallocating per-node state.
+func (s *State) Reset(ctx *congest.Context, p Params) {
 	if p.MaxSteps == 0 {
 		p.MaxSteps = rotation.DefaultMaxSteps(p.ScopeSize)
 	}
-	s := &State{
+	unused := s.unused[:0]
+	*s = State{
 		p:        p,
 		pred:     -1,
 		succ:     -1,
 		lastSent: -1,
 		status:   Running,
+		scope:    p.ScopeNeighbors,
 	}
-	s.scope = p.ScopeNeighbors
-	s.unused = append(s.unused, s.scope...)
+	s.unused = append(unused, s.scope...)
 	if p.IsInitialHead {
 		s.cycindex = 1
 		s.isHead = true
 		s.actAfter = p.StartRound
 	}
-	return s
 }
 
 // Status returns the node's view of the instance lifecycle.

@@ -52,11 +52,18 @@ func (r *Source) reseed(seed uint64) {
 // with different indices, or children of different parents, behave as
 // statistically independent generators.
 func (r *Source) Split(index uint64) *Source {
+	var child Source
+	r.SplitInto(&child, index)
+	return &child
+}
+
+// SplitInto reseeds child in place with the stream Split(index) would return,
+// so run arenas can rederive per-node streams across runs without allocating
+// a new Source per node per run.
+func (r *Source) SplitInto(child *Source, index uint64) {
 	// Mix the parent's current state with the index through splitmix64.
 	state := r.s0 ^ (r.s2 << 1) ^ (index * 0x9e3779b97f4a7c15)
-	var child Source
 	child.reseed(splitmix64(&state))
-	return &child
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -28,6 +28,9 @@ var (
 	// ErrOutOfEdges corresponds to event E2: the head ran out of unused
 	// edges.
 	ErrOutOfEdges = errors.New("rotation: head has no unused edges")
+	// ErrInterrupted means Config.Interrupt reported cancellation before the
+	// cycle closed; callers translate it back to their context's error.
+	ErrInterrupted = errors.New("rotation: run interrupted")
 )
 
 // EventKind describes what a single Step did.
@@ -66,7 +69,15 @@ type Config struct {
 	// retained pair probability is exactly q. Zero keeps every edge (the
 	// practical algorithm, which only does better).
 	ThinningP float64
+	// Interrupt, if non-nil, is polled by Run every interruptCheckEvery
+	// steps; returning true aborts the run with ErrInterrupted. It must not
+	// consume randomness, so an uninterrupted run is byte-identical with or
+	// without the hook — the step simulator wires a context check here.
+	Interrupt func() bool
 }
+
+// interruptCheckEvery is Run's amortized cancellation-poll cadence in steps.
+const interruptCheckEvery = 1024
 
 // DefaultMaxSteps returns the Theorem 2 step budget for an n-vertex graph.
 func DefaultMaxSteps(n int) int64 {
@@ -187,7 +198,16 @@ func (m *Machine) Step() (Event, error) {
 
 // Run steps the machine to completion and returns the Hamiltonian cycle.
 func (m *Machine) Run() (*cycle.Cycle, Stats, error) {
+	sinceCheck := 0
 	for {
+		if m.cfg.Interrupt != nil {
+			if sinceCheck++; sinceCheck >= interruptCheckEvery {
+				sinceCheck = 0
+				if m.cfg.Interrupt() {
+					return nil, m.stats, fmt.Errorf("%w after %d steps", ErrInterrupted, m.stats.Steps)
+				}
+			}
+		}
 		ev, err := m.Step()
 		if err != nil {
 			return nil, m.stats, err

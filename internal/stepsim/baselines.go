@@ -1,6 +1,8 @@
 package stepsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -16,8 +18,15 @@ import (
 // duration is the maximum per-tree-edge load plus the tree depth, the free
 // local solve, and a downcast of the same shape.
 func Upcast(g *graph.Graph, seed uint64, samplesPerNode int) (*cycle.Cycle, Cost, error) {
+	return NewSession().Upcast(context.Background(), g, seed, samplesPerNode)
+}
+
+// Upcast simulates the Section III algorithm, honoring ctx around the root's
+// local solve attempts.
+func (s *Session) Upcast(ctx context.Context, g *graph.Graph, seed uint64, samplesPerNode int) (*cycle.Cycle, Cost, error) {
 	n := g.N()
 	src := rng.New(seed)
+	s.Hooks.phase("run")
 	if samplesPerNode <= 0 {
 		samplesPerNode = int(math.Ceil(3 * math.Log(float64(n))))
 	}
@@ -73,12 +82,19 @@ func Upcast(g *graph.Graph, seed uint64, samplesPerNode int) (*cycle.Cycle, Cost
 	// one successor id routed to each node).
 	cost.Rounds = 4*b + (maxLoad + depth) + (int64(n) / maxInt64(1, int64(g.Degree(bfs.Source)))) + depth + 8
 	sampled := builder.Build()
+	intr := interruptOf(ctx)
 	var hc *cycle.Cycle
 	var err error
 	for a := 0; a < 20; a++ {
-		hc, _, err = rotation.Solve(sampled, src, rotation.Config{})
+		if ctx.Err() != nil {
+			return nil, cost, canceled(ctx)
+		}
+		hc, _, err = rotation.Solve(sampled, src, rotation.Config{Interrupt: intr})
 		if err == nil {
 			break
+		}
+		if errors.Is(err, rotation.ErrInterrupted) {
+			return nil, cost, canceled(ctx)
 		}
 	}
 	if err != nil {

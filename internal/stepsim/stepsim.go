@@ -25,11 +25,12 @@
 package stepsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
+	"dhc/internal/arena"
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
 	"dhc/internal/rng"
@@ -39,6 +40,90 @@ import (
 // ErrFailed is returned when a simulated run fails to build a Hamiltonian
 // cycle.
 var ErrFailed = errors.New("stepsim: run failed")
+
+// Hooks are optional observer callbacks for a run's lifecycle. All callbacks
+// are best-effort and observe only: a run is byte-identical with or without
+// them. They are invoked from the goroutine driving the run (never from pool
+// workers).
+type Hooks struct {
+	// OnPhase fires when a run enters a named phase ("run", "phase1",
+	// "phase2").
+	OnPhase func(phase string)
+	// OnRestart fires when the run burns a run-level restart attempt — a
+	// failed standalone rotation attempt, a phase-1 recolor, or a phase-2
+	// retry — with the cumulative count of reported restarts, which is
+	// strictly increasing within one run. Per-partition internal restarts
+	// happen on pool workers and are aggregated into Cost.Restarts instead
+	// of being reported individually.
+	OnRestart func(restarts int)
+}
+
+func (h Hooks) phase(name string) {
+	if h.OnPhase != nil {
+		h.OnPhase(name)
+	}
+}
+
+func (h Hooks) restart(restarts int64) {
+	if h.OnRestart != nil {
+		h.OnRestart(int(restarts))
+	}
+}
+
+// restartReporter keeps one strictly increasing cumulative restart count per
+// run, shared by every phase that reports run-level restarts, so the
+// OnRestart stream never regresses across phase boundaries.
+type restartReporter struct {
+	hooks Hooks
+	n     int64
+}
+
+func (r *restartReporter) bump() {
+	r.n++
+	r.hooks.restart(r.n)
+}
+
+// Session is a reusable step-engine runner: the phase-2 merge scratch
+// buffers (per-worker position-stamp arrays sized to the graph) survive
+// across runs on same-sized graphs. The Hooks field may be set between runs.
+// Not safe for concurrent use.
+type Session struct {
+	// Hooks receives the session's lifecycle callbacks.
+	Hooks Hooks
+
+	scratchN  int
+	scratches []*mergeScratch
+}
+
+// NewSession returns an empty session; the first run sizes it.
+func NewSession() *Session { return &Session{} }
+
+// mergeScratches returns poolSize reusable scratch buffers for graphs of n
+// vertices, reallocating only when the graph size changed.
+func (s *Session) mergeScratches(n, poolSize int) []*mergeScratch {
+	if s.scratchN != n {
+		s.scratches, s.scratchN = nil, n
+	}
+	for len(s.scratches) < poolSize {
+		s.scratches = append(s.scratches, newMergeScratch(n))
+	}
+	return s.scratches[:poolSize]
+}
+
+// canceled wraps a context's error once cancellation was observed, keeping
+// context.Canceled / context.DeadlineExceeded matchable with errors.Is.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("stepsim: run canceled: %w", ctx.Err())
+}
+
+// interruptOf returns the amortized cancellation poll wired into rotation
+// machines, or nil when ctx can never be cancelled.
+func interruptOf(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
 
 // Options configures the DHC simulations.
 type Options struct {
@@ -95,15 +180,27 @@ func chargeRotationRounds(st rotation.Stats, b int64) int64 {
 
 // DRA simulates the standalone Distributed Rotation Algorithm on g.
 func DRA(g *graph.Graph, seed uint64, maxAttempts int) (*cycle.Cycle, Cost, error) {
+	return NewSession().DRA(context.Background(), g, seed, maxAttempts)
+}
+
+// DRA simulates the standalone Distributed Rotation Algorithm on g, honoring
+// ctx between rotation-step batches.
+func (s *Session) DRA(ctx context.Context, g *graph.Graph, seed uint64, maxAttempts int) (*cycle.Cycle, Cost, error) {
 	src := rng.New(seed)
 	b := broadcastBound(g)
 	cost := Cost{B: b}
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	s.Hooks.phase("run")
+	intr := interruptOf(ctx)
+	rep := &restartReporter{hooks: s.Hooks}
 	var lastErr error
 	for a := 0; a < maxAttempts; a++ {
-		m := rotation.New(g, graph.NodeID(src.Intn(g.N())), src, rotation.Config{})
+		if ctx.Err() != nil {
+			return nil, cost, canceled(ctx)
+		}
+		m := rotation.New(g, graph.NodeID(src.Intn(g.N())), src, rotation.Config{Interrupt: intr})
 		hc, st, err := m.Run()
 		cost.Steps += st.Steps
 		cost.Extensions += st.Extensions
@@ -112,43 +209,15 @@ func DRA(g *graph.Graph, seed uint64, maxAttempts int) (*cycle.Cycle, Cost, erro
 		if err == nil {
 			return hc, cost, nil
 		}
+		if errors.Is(err, rotation.ErrInterrupted) {
+			return nil, cost, canceled(ctx)
+		}
 		lastErr = err
 		cost.Restarts++
+		rep.bump()
 		cost.Rounds += 2*b + 2 // failure flood + quiet period
 	}
 	return nil, cost, fmt.Errorf("%w: %v", ErrFailed, lastErr)
-}
-
-// runPool runs fn(worker, item) for every item in [0, items): inline when
-// workers <= 1, else on a bounded pool of min(workers, items) goroutines.
-// fn must only write state owned by its item or its worker index; callers
-// get determinism by folding per-item results in item order afterwards.
-func runPool(workers, items int, fn func(worker, item int)) {
-	if workers > items {
-		workers = items
-	}
-	if workers <= 1 {
-		for i := 0; i < items; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range work {
-				fn(w, i)
-			}
-		}(w)
-	}
-	for i := 0; i < items; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 }
 
 // partition assigns each vertex one of k colors uniformly, mirroring DHC
@@ -186,8 +255,9 @@ type partOutcome struct {
 }
 
 // solvePartition runs DRA (with restarts) on the subgraph induced by class,
-// drawing all randomness from the partition's private stream.
-func solvePartition(g *graph.Graph, c int, class []graph.NodeID, src *rng.Source, maxAttempts int) partOutcome {
+// drawing all randomness from the partition's private stream. ctx is polled
+// between attempts and inside the rotation machine's step batches.
+func solvePartition(ctx context.Context, g *graph.Graph, c int, class []graph.NodeID, src *rng.Source, maxAttempts int) partOutcome {
 	out := partOutcome{b: 1}
 	if len(class) < 3 {
 		out.err = fmt.Errorf("%w: partition %d has %d nodes", ErrFailed, c, len(class))
@@ -199,13 +269,22 @@ func solvePartition(g *graph.Graph, c int, class []graph.NodeID, src *rng.Source
 		return out
 	}
 	out.b = broadcastBound(sub)
+	intr := interruptOf(ctx)
 	for a := 0; a < maxAttempts; a++ {
-		m := rotation.New(sub, graph.NodeID(src.Intn(sub.N())), src, rotation.Config{})
+		if ctx.Err() != nil {
+			out.err = canceled(ctx)
+			return out
+		}
+		m := rotation.New(sub, graph.NodeID(src.Intn(sub.N())), src, rotation.Config{Interrupt: intr})
 		hc, st, err := m.Run()
 		out.steps += st.Steps
 		out.rounds += chargeRotationRounds(st, out.b)
 		if err == nil {
 			out.cyc = hc.Relabel(orig)
+			return out
+		}
+		if errors.Is(err, rotation.ErrInterrupted) {
+			out.err = canceled(ctx)
 			return out
 		}
 		out.restarts++
@@ -218,14 +297,23 @@ func solvePartition(g *graph.Graph, c int, class []graph.NodeID, src *rng.Source
 // runPhase1 builds per-partition Hamiltonian subcycles with restarts. A
 // coloring that produces an unusably small or disconnected partition is
 // redrawn entirely (the distributed analogue: a failure flood triggers a
-// global recolor), up to maxAttempts times.
-func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int) (*phase1Result, error) {
+// global recolor), up to maxAttempts times. Cancellation is never retried.
+func runPhase1(ctx context.Context, g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int, rep *restartReporter) (*phase1Result, error) {
 	var err error
 	for a := 0; a < maxAttempts; a++ {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		if a > 0 {
+			rep.bump()
+		}
 		var res *phase1Result
-		res, err = runPhase1Once(g, k, src, maxAttempts, workers)
+		res, err = runPhase1Once(ctx, g, k, src, maxAttempts, workers)
 		if err == nil {
 			return res, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
 		}
 	}
 	return nil, err
@@ -236,15 +324,15 @@ func runPhase1(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int)
 // ever touches its own split stream and its own outcome slot, and outcomes
 // are folded in partition-id order, so the result is a pure function of the
 // seed for every workers value.
-func runPhase1Once(g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int) (*phase1Result, error) {
+func runPhase1Once(ctx context.Context, g *graph.Graph, k int, src *rng.Source, maxAttempts, workers int) (*phase1Result, error) {
 	classes := partition(g.N(), k, src)
 	streams := make([]*rng.Source, k)
 	for c := 0; c < k; c++ {
 		streams[c] = src.Split(uint64(c) + 1)
 	}
 	outs := make([]partOutcome, k)
-	runPool(workers, k, func(_, c int) {
-		outs[c] = solvePartition(g, c, classes[c], streams[c], maxAttempts)
+	arena.RunPool(workers, k, func(_, c int) {
+		outs[c] = solvePartition(ctx, g, c, classes[c], streams[c], maxAttempts)
 	})
 
 	res := &phase1Result{
@@ -279,6 +367,12 @@ func scaffolding(b int64) int64 { return 4*b + 8 + 2*b + 2 }
 // DHC1 simulates Algorithm 2: Phase 1 partitioning plus the hypernode
 // rotation of Phase 2 (with port orientations; see internal/core/hyper.go).
 func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
+	return NewSession().DHC1(context.Background(), g, seed, opts)
+}
+
+// DHC1 simulates Algorithm 2, honoring ctx between partitions, attempts and
+// rotation-step batches.
+func (s *Session) DHC1(ctx context.Context, g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
 	n := g.N()
 	numColors := opts.NumColors
 	if numColors <= 0 {
@@ -292,7 +386,9 @@ func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 	}
 	src := rng.New(seed)
 	maxAttempts := opts.attempts()
-	p1, err := runPhase1(g, numColors, src, maxAttempts, opts.Workers)
+	rep := &restartReporter{hooks: s.Hooks}
+	s.Hooks.phase("phase1")
+	p1, err := runPhase1(ctx, g, numColors, src, maxAttempts, opts.Workers, rep)
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -314,7 +410,11 @@ func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 	var hc *cycle.Cycle
 	var p2rounds int64
 	ok := false
+	s.Hooks.phase("phase2")
 	for a := 0; a < maxAttempts; a++ {
+		if ctx.Err() != nil {
+			return nil, cost, canceled(ctx)
+		}
 		var steps int64
 		hc, steps, err = hyperRotation(g, p1.cycles, src)
 		// Selection flood + port announcement + rotation steps priced at
@@ -326,6 +426,7 @@ func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 			break
 		}
 		cost.Restarts++
+		rep.bump()
 		p2rounds += 2*gb + 2
 	}
 	cost.Phase2Rounds = p2rounds
@@ -342,6 +443,12 @@ func DHC1(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 // DHC2 simulates Algorithm 3: Phase 1 partitioning plus ⌈log₂ K⌉ parallel
 // pairwise merge levels.
 func DHC2(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
+	return NewSession().DHC2(context.Background(), g, seed, opts)
+}
+
+// DHC2 simulates Algorithm 3, honoring ctx between partitions, merge levels
+// and rotation-step batches.
+func (s *Session) DHC2(ctx context.Context, g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error) {
 	n := g.N()
 	numColors := opts.NumColors
 	if numColors <= 0 {
@@ -358,7 +465,9 @@ func DHC2(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 	}
 	src := rng.New(seed)
 	maxAttempts := opts.attempts()
-	p1, err := runPhase1(g, numColors, src, maxAttempts, opts.Workers)
+	rep := &restartReporter{hooks: s.Hooks}
+	s.Hooks.phase("phase1")
+	p1, err := runPhase1(ctx, g, numColors, src, maxAttempts, opts.Workers, rep)
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -368,7 +477,8 @@ func DHC2(g *graph.Graph, seed uint64, opts Options) (*cycle.Cycle, Cost, error)
 		Restarts:     p1.restarts,
 		Phase1Rounds: scaffolding(p1.scopeB) + p1.maxRounds,
 	}
-	hc, levels, err := runMergeTree(g, p1.cycles, src, opts.Workers)
+	s.Hooks.phase("phase2")
+	hc, levels, err := s.runMergeTree(ctx, g, p1.cycles, src, opts.Workers)
 	if err != nil {
 		return nil, cost, err
 	}
@@ -405,7 +515,7 @@ type mergeOutcome struct {
 // error in pair order wins), so every workers value produces byte-identical
 // results. Each worker owns one reusable scratch buffer across all levels,
 // keeping the bridge scan allocation-free per pair.
-func runMergeTree(g *graph.Graph, cycles []*cycle.Cycle, src *rng.Source, workers int) (*cycle.Cycle, int64, error) {
+func (s *Session) runMergeTree(ctx context.Context, g *graph.Graph, cycles []*cycle.Cycle, src *rng.Source, workers int) (*cycle.Cycle, int64, error) {
 	if len(cycles) == 1 {
 		return cycles[0], 0, nil
 	}
@@ -416,17 +526,17 @@ func runMergeTree(g *graph.Graph, cycles []*cycle.Cycle, src *rng.Source, worker
 	if poolSize < 1 {
 		poolSize = 1
 	}
-	scratches := make([]*mergeScratch, poolSize)
-	for w := range scratches {
-		scratches[w] = newMergeScratch(g.N())
-	}
+	scratches := s.mergeScratches(g.N(), poolSize)
 	levels := int64(0)
 	for len(cycles) > 1 {
+		if ctx.Err() != nil {
+			return nil, levels, canceled(ctx)
+		}
 		levels++
 		levelSrc := src.Split(mergeTreeTag + uint64(levels))
 		pairs := len(cycles) / 2
 		outs := make([]mergeOutcome, pairs)
-		runPool(poolSize, pairs, func(w, i int) {
+		arena.RunPool(poolSize, pairs, func(w, i int) {
 			outs[i].cyc, outs[i].err = mergePair(
 				g, cycles[2*i], cycles[2*i+1], levelSrc.Split(uint64(i)+1), scratches[w])
 		})

@@ -1,6 +1,7 @@
 package stepsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -184,7 +185,7 @@ func TestMergeTreeWorkerDeterminism(t *testing.T) {
 	classes := partition(g.N(), k, src)
 	cycles := make([]*cycle.Cycle, k)
 	for c := 0; c < k; c++ {
-		out := solvePartition(g, c, classes[c], src.Split(uint64(c)+1), 6)
+		out := solvePartition(context.Background(), g, c, classes[c], src.Split(uint64(c)+1), 6)
 		if out.err != nil {
 			t.Fatalf("partition %d: %v", c, out.err)
 		}
@@ -194,7 +195,7 @@ func TestMergeTreeWorkerDeterminism(t *testing.T) {
 	var wantLevels int64
 	for _, workers := range []int{0, 1, 3, 8, 100} {
 		in := append([]*cycle.Cycle(nil), cycles...)
-		hc, levels, err := runMergeTree(g, in, rng.New(77), workers)
+		hc, levels, err := NewSession().runMergeTree(context.Background(), g, in, rng.New(77), workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

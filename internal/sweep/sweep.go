@@ -29,10 +29,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"dhc"
+	"dhc/internal/arena"
 	"dhc/internal/bench"
 	"dhc/internal/graph"
 	"dhc/internal/rng"
@@ -213,19 +216,41 @@ type Options struct {
 	// Workers bounds the trial-level worker pool within each cell (values
 	// <= 1 run sequentially). Any value produces byte-identical reports.
 	Workers int
+	// CellTimeout, when positive, bounds each cell's wall-clock time: when
+	// it expires the cell's remaining trials are cut off and counted as
+	// FailCanceled. A timed-out cell is wall-clock dependent and therefore
+	// excluded from the byte-identical contract; the resume path re-runs it.
+	CellTimeout time.Duration
 	// Progress, if non-nil, is called after each cell completes, in cell
 	// order (reused == true when the cell came from Resume).
 	Progress func(cell Cell, stats bench.CellStats, reused bool)
+	// Observer, if non-nil, supplies a dhc.Observer per cell, wired into the
+	// cell's solver sessions for liveness reporting on long cells. One
+	// observer serves every trial of the cell, and with Workers > 1 its
+	// callbacks fire concurrently — implementations must be safe for that.
+	Observer func(cell Cell) *dhc.Observer
 	// Resume maps cell keys to previously computed stats (from a prior
 	// report with the same master seed and trial count); matching cells
 	// are reused instead of re-run. Entries whose Trials differ from the
-	// grid's are ignored.
+	// grid's, or that carry canceled trials, are ignored.
 	Resume map[string]bench.CellStats
 }
 
 // Run executes the sweep and returns the v2 report section: per-cell
 // statistics in grid order plus scaling fits across cells.
 func Run(grid Grid, opts Options) (*bench.SweepSection, error) {
+	return RunContext(context.Background(), grid, opts)
+}
+
+// RunContext is Run with cooperative cancellation: between cells (and, via
+// the solver layer, inside them) ctx is honored, and a cancelled sweep
+// returns the section of every cell completed so far together with ctx's
+// error. The in-flight cell is abandoned rather than recorded, because its
+// partial outcomes depend on wall-clock timing — which is exactly what makes
+// an interrupted sweep resumable: the finished cells are deterministic, so a
+// resumed sweep reproduces the report an uninterrupted run would have
+// written, byte for byte.
+func RunContext(ctx context.Context, grid Grid, opts Options) (*bench.SweepSection, error) {
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
@@ -237,11 +262,21 @@ func Run(grid Grid, opts Options) (*bench.SweepSection, error) {
 	}
 	master := rng.New(grid.MasterSeed)
 	for _, cell := range grid.Cells() {
+		if err := ctx.Err(); err != nil {
+			sec.Fits = Fits(sec.Cells)
+			return sec, err
+		}
 		stats, reused := bench.CellStats{}, false
-		if prev, ok := opts.Resume[cell.Key()]; ok && prev.Trials == grid.trials() {
+		if prev, ok := opts.Resume[cell.Key()]; ok && prev.Trials == grid.trials() && prev.FailCanceled == 0 {
 			stats, reused = prev, true
 		} else {
-			stats = runCell(&grid, cell, master, opts.Workers)
+			stats = runCell(ctx, &grid, cell, master, &opts)
+			if ctx.Err() != nil {
+				// The master context died mid-cell: the cell's outcomes are
+				// partial; abandon them so the checkpoint stays resumable.
+				sec.Fits = Fits(sec.Cells)
+				return sec, ctx.Err()
+			}
 		}
 		sec.Cells = append(sec.Cells, stats)
 		if opts.Progress != nil {
@@ -264,12 +299,49 @@ type trialOutcome struct {
 }
 
 // runCell executes one cell's Trials independent trials on a bounded pool.
-func runCell(grid *Grid, cell Cell, master *rng.Source, workers int) bench.CellStats {
+// Each pool worker owns one reusable dhc.Solver session for the cell: every
+// trial of a cell runs on a same-sized instance, so the solver's engine
+// arena is recycled trial over trial (the repeated-trial throughput path).
+// Determinism is unaffected — a solver trial is byte-identical to a fresh
+// Solve — so reports stay byte-identical at any worker count.
+func runCell(ctx context.Context, grid *Grid, cell Cell, master *rng.Source, opts *Options) bench.CellStats {
 	trials := grid.trials()
+	cellCtx := ctx
+	if opts.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, opts.CellTimeout)
+		defer cancel()
+	}
+	var obs *dhc.Observer
+	if opts.Observer != nil {
+		obs = opts.Observer(cell)
+	}
+	solverOpts := dhc.Options{
+		Engine:      cell.Engine.Engine,
+		DenseSweep:  cell.Engine.Dense,
+		Delta:       grid.delta(),
+		NumColors:   grid.NumColors,
+		MaxAttempts: grid.MaxAttempts,
+		Observer:    obs,
+	}
+	poolSize := opts.Workers
+	if poolSize > trials {
+		poolSize = trials
+	}
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	solvers := make([]*dhc.Solver, poolSize)
 	instStream := master.Split(fnv1a(cell.InstanceKey()))
 	outs := make([]trialOutcome, trials)
-	runPool(workers, trials, func(trial int) {
-		outs[trial] = runTrial(grid, cell, instStream.Split(uint64(trial)+1))
+	arena.RunPool(opts.Workers, trials, func(worker, trial int) {
+		if solvers[worker] == nil {
+			// A constructor error (impossible for a validated grid) leaves
+			// the slot nil; runTrial then falls back to one-shot SolveContext
+			// and reports the same error as a trial outcome.
+			solvers[worker], _ = dhc.NewSolver(cell.Algo, solverOpts)
+		}
+		outs[trial] = runTrial(cellCtx, grid, cell, solvers[worker], instStream.Split(uint64(trial)+1))
 	})
 
 	stats := bench.CellStats{
@@ -297,6 +369,8 @@ func runCell(grid *Grid, cell Cell, master *rng.Source, workers int) bench.CellS
 			stats.FailNoHC++
 		case dhc.FailureRoundLimit:
 			stats.FailRoundLimit++
+		case dhc.FailureCanceled:
+			stats.FailCanceled++
 		default:
 			stats.FailError++
 		}
@@ -314,9 +388,11 @@ func runCell(grid *Grid, cell Cell, master *rng.Source, workers int) bench.CellS
 	return stats
 }
 
-// runTrial generates the trial's instance and solves it, drawing both seeds
-// from the trial's private stream.
-func runTrial(grid *Grid, cell Cell, stream *rng.Source) trialOutcome {
+// runTrial generates the trial's instance and solves it on the worker's
+// reusable solver session, drawing both seeds from the trial's private
+// stream. A nil solver (constructor failure) falls back to one-shot solving
+// so the configuration error still surfaces as a trial outcome.
+func runTrial(ctx context.Context, grid *Grid, cell Cell, solver *dhc.Solver, stream *rng.Source) trialOutcome {
 	graphSeed := stream.Uint64()
 	solveSeed := stream.Uint64()
 	g, err := buildGraph(cell, graphSeed)
@@ -325,16 +401,21 @@ func runTrial(grid *Grid, cell Cell, stream *rng.Source) trialOutcome {
 		// a solver negative.
 		return trialOutcome{class: dhc.FailureError, err: err}
 	}
-	res, class, err := dhc.Trial(g, cell.Algo, dhc.Options{
-		Seed:        solveSeed,
-		Engine:      cell.Engine.Engine,
-		DenseSweep:  cell.Engine.Dense,
-		Delta:       grid.delta(),
-		NumColors:   grid.NumColors,
-		MaxAttempts: grid.MaxAttempts,
-	})
-	out := trialOutcome{class: class, err: err}
-	if class == dhc.FailureNone {
+	var res *dhc.Result
+	if solver != nil {
+		res, err = solver.SolveSeeded(ctx, g, solveSeed)
+	} else {
+		res, err = dhc.SolveContext(ctx, g, cell.Algo, dhc.Options{
+			Seed:        solveSeed,
+			Engine:      cell.Engine.Engine,
+			DenseSweep:  cell.Engine.Dense,
+			Delta:       grid.delta(),
+			NumColors:   grid.NumColors,
+			MaxAttempts: grid.MaxAttempts,
+		})
+	}
+	out := trialOutcome{class: dhc.Classify(err), err: err}
+	if out.class == dhc.FailureNone {
 		out.rounds, out.steps = res.Rounds, res.Steps
 		if res.Counters != nil {
 			out.msgs, out.bits = res.Counters.Messages, res.Counters.Bits
@@ -440,35 +521,4 @@ func fnv1a(s string) uint64 {
 		h *= prime
 	}
 	return h
-}
-
-// runPool runs fn(item) for every item in [0, items): inline when workers
-// <= 1, else on a bounded pool. fn must only write state owned by its item.
-func runPool(workers, items int, fn func(item int)) {
-	if workers > items {
-		workers = items
-	}
-	if workers <= 1 {
-		for i := 0; i < items; i++ {
-			fn(i)
-		}
-		return
-	}
-	work := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range work {
-				fn(i)
-			}
-			done <- struct{}{}
-		}()
-	}
-	for i := 0; i < items; i++ {
-		work <- i
-	}
-	close(work)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
 }

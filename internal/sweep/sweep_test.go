@@ -2,9 +2,12 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"dhc"
 	"dhc/internal/bench"
@@ -293,4 +296,146 @@ func TestParseFamily(t *testing.T) {
 	if err != nil || len(fams) != 2 {
 		t.Fatalf("ParseFamilies: %v, %v", fams, err)
 	}
+}
+
+// TestCellTimeoutRecordsCanceled pins the per-cell timeout path: an
+// already-expired cell budget cuts every trial off, the outcomes land in
+// FailCanceled (not in the error or no-hc statistics), and the resulting
+// section still satisfies the report schema's partition invariant.
+func TestCellTimeoutRecordsCanceled(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{64},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  []bench.EngineMode{{Engine: dhc.EngineExact}},
+		Trials:   4, MasterSeed: 5,
+	}
+	sec, err := Run(grid, Options{CellTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(sec.Cells))
+	}
+	c := sec.Cells[0]
+	if c.FailCanceled != c.Trials {
+		t.Fatalf("expired cell budget: %d of %d trials canceled (%+v)", c.FailCanceled, c.Trials, c)
+	}
+	if c.Successes != 0 || c.FailError != 0 || c.FailNoHC != 0 || c.FailRoundLimit != 0 {
+		t.Fatalf("canceled trials bled into other statistics: %+v", c)
+	}
+	rep := bench.NewReport("test", "go", 1)
+	rep.Sweep = sec
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("canceled cell breaks the schema partition: %v", err)
+	}
+}
+
+// TestRunContextCancellation pins the interrupt path: a sweep cancelled
+// after its first cell returns exactly the finished cells plus ctx's error,
+// and the in-flight cell is abandoned rather than recorded — which is what
+// keeps an interrupted checkpoint resumable to a byte-identical report.
+func TestRunContextCancellation(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{48, 64, 96},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   4, MasterSeed: 7,
+	}
+	full, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Progress: func(cell Cell, stats bench.CellStats, reused bool) {
+		cancel() // interrupt after the first completed cell
+	}}
+	partial, err := RunContext(ctx, grid, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if len(partial.Cells) != 1 {
+		t.Fatalf("cancelled sweep recorded %d cells, want exactly the 1 finished before cancel", len(partial.Cells))
+	}
+	if got, want := encodeCell(t, partial.Cells[0]), encodeCell(t, full.Cells[0]); !bytes.Equal(got, want) {
+		t.Fatal("finished cell of the interrupted sweep differs from the uninterrupted run")
+	}
+
+	// Resuming from the partial section must complete the identical report.
+	resume := map[string]bench.CellStats{}
+	for _, c := range partial.Cells {
+		resume[c.Key()] = c
+	}
+	reusedCount := 0
+	resumed, err := Run(grid, Options{
+		Resume: resume,
+		Progress: func(cell Cell, stats bench.CellStats, reused bool) {
+			if reused {
+				reusedCount++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reusedCount != 1 {
+		t.Fatalf("resume reused %d cells, want 1", reusedCount)
+	}
+	if !bytes.Equal(encodeSection(t, resumed), encodeSection(t, full)) {
+		t.Fatal("resumed sweep differs from the uninterrupted run")
+	}
+}
+
+// TestResumeSkipsCanceledCells pins the rule that a cell carrying canceled
+// trials is never reused: it is wall-clock dependent, so resume must re-run
+// it to restore determinism.
+func TestResumeSkipsCanceledCells(t *testing.T) {
+	grid := Grid{
+		Families: []Family{FamilyGNP},
+		Sizes:    []int{48},
+		Params:   []float64{1.5},
+		Delta:    0.5,
+		Algos:    []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines:  step(),
+		Trials:   4, MasterSeed: 9,
+	}
+	full, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := full.Cells[0]
+	poisoned.Successes = 0
+	poisoned.FailCanceled = poisoned.Trials
+	poisoned.SuccessRate = 0
+	reused := false
+	resumed, err := Run(grid, Options{
+		Resume:   map[string]bench.CellStats{poisoned.Key(): poisoned},
+		Progress: func(cell Cell, stats bench.CellStats, r bool) { reused = reused || r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("canceled cell was reused on resume")
+	}
+	if !bytes.Equal(encodeSection(t, resumed), encodeSection(t, full)) {
+		t.Fatal("re-run after skipping the canceled cell differs from the clean run")
+	}
+}
+
+// encodeCell renders one cell for byte comparison.
+func encodeCell(t *testing.T, c bench.CellStats) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }

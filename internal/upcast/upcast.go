@@ -13,10 +13,12 @@
 package upcast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"dhc/internal/arena"
 	"dhc/internal/congest"
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
@@ -328,6 +330,26 @@ type Result struct {
 
 // Run executes the Upcast algorithm on g.
 func Run(g *graph.Graph, seed uint64, opts Options, netOpts congest.Options) (*Result, error) {
+	return NewSession().Run(context.Background(), g, seed, opts, netOpts)
+}
+
+// Session is a reusable Upcast runner: the per-node program slice, the
+// simulator Network, and its run arena survive across Run calls, so repeated
+// trials on same-sized graphs skip the engine-side allocations. Not safe for
+// concurrent use.
+type Session struct {
+	progs []*node
+	nodes []congest.Node
+	net   *congest.Network
+}
+
+// NewSession returns an empty session; the first Run sizes it.
+func NewSession() *Session { return &Session{} }
+
+// Run executes one Upcast trial, honoring ctx at the simulator's amortized
+// cancellation checkpoint. A cancelled run returns ctx's error and leaves
+// the session reusable.
+func (sess *Session) Run(ctx context.Context, g *graph.Graph, seed uint64, opts Options, netOpts congest.Options) (*Result, error) {
 	n := g.N()
 	if n < 3 {
 		return nil, fmt.Errorf("upcast: need n >= 3, got %d", n)
@@ -343,22 +365,31 @@ func Run(g *graph.Graph, seed uint64, opts Options, netOpts congest.Options) (*R
 		// the worst (star) case.
 		netOpts.MaxRounds = 8*opts.B + int64(n)*int64(opts.SamplesPerNode+2) + 4096
 	}
-	progs := make([]*node, n)
-	nodes := make([]congest.Node, n)
-	for i := range nodes {
-		progs[i] = &node{opts: opts}
-		nodes[i] = progs[i]
+	sess.progs = arena.Resize(sess.progs, n)
+	sess.nodes = arena.Resize(sess.nodes, n)
+	for i := 0; i < n; i++ {
+		// The program's routing maps and queues are rebuilt by Init; a fresh
+		// value drops the previous trial's state.
+		if sess.progs[i] == nil {
+			sess.progs[i] = &node{}
+		}
+		*sess.progs[i] = node{opts: opts}
+		sess.nodes[i] = sess.progs[i]
 	}
-	net, err := congest.NewNetwork(g, nodes, netOpts)
-	if err != nil {
+	if sess.net == nil {
+		sess.net = new(congest.Network)
+	}
+	// Reset handles first bind and rebind alike (NewNetwork is just a Reset
+	// on a zero Network), so the sessions cannot drift on bind semantics.
+	if err := sess.net.Reset(g, sess.nodes, netOpts); err != nil {
 		return nil, err
 	}
-	counters, err := net.Run(seed)
+	counters, err := sess.net.RunContext(ctx, seed)
 	if err != nil {
 		return nil, fmt.Errorf("upcast: %w", err)
 	}
 	succ := make(map[graph.NodeID]graph.NodeID, n)
-	for v, p := range progs {
+	for v, p := range sess.progs {
 		if p.failed {
 			return nil, fmt.Errorf("%w (node %d saw failure flood)", ErrNoHC, v)
 		}
