@@ -32,6 +32,7 @@ import (
 
 	"dhc"
 	"dhc/internal/bench"
+	"dhc/internal/sweep"
 )
 
 func main() {
@@ -61,6 +62,10 @@ func run() error {
 		cmult      = flag.Float64("cmult", 32, "pipeline: density constant of p = cmult*ln(n)/n^delta")
 		bound      = flag.Int64("bound", 0, "pipeline: broadcast-bound override B for the exact engines (0 = tight default, n = the paper's trivial bound)")
 		reuse      = flag.Int("reuseTrials", 0, "pipeline: also measure repeated-trial throughput over this many per-point trials, once via fresh Solve calls and once via one reusable Solver session (mode=fresh/reuse record pairs)")
+		gen        = flag.String("gen", "", "pipeline: also measure construction throughput for these comma-separated graph families (gnp,gnm,regular,powerlaw,geometric,sbm,hypercube,torus)")
+		genSizes   = flag.String("genSizes", "10000,100000", "pipeline: vertex counts for the -gen construction grid (lattice families round down to their nearest valid size)")
+		genParam   = flag.Float64("genParam", 4, "pipeline: density parameter for the -gen families (same meaning as a sweep cell's param; ignored by lattices)")
+		genDelta   = flag.Float64("genDelta", 1, "pipeline: density exponent for the -gen families (independent of -delta: construction throughput is usually measured in the sparse regime)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
@@ -103,11 +108,17 @@ func run() error {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		gp := genParams{families: *gen, param: *genParam, delta: *genDelta}
+		if gp.families != "" {
+			if gp.sizes, err = bench.ParseInts(*genSizes); err != nil {
+				return fmt.Errorf("bad -genSizes: %w", err)
+			}
+		}
 		return runJSON(ctx, jsonParams{
 			out: *jsonOut, rev: *rev, grid: grid,
 			trials: *trials, seed: *seed, colors: *colors,
 			delta: *delta, cmult: *cmult, bound: *bound,
-			reuseTrials: *reuse,
+			reuseTrials: *reuse, gen: gp,
 		})
 	}
 
@@ -153,6 +164,14 @@ type jsonParams struct {
 	delta, cmult float64
 	bound        int64
 	reuseTrials  int
+	gen          genParams
+}
+
+// genParams is the -gen construction-throughput grid.
+type genParams struct {
+	families     string
+	sizes        []int
+	param, delta float64
 }
 
 func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
@@ -248,6 +267,11 @@ func runJSON(ctx context.Context, p jsonParams) error {
 	}
 	if p.reuseTrials > 0 {
 		if err := appendReuseRecords(ctx, rep, p); err != nil {
+			return err
+		}
+	}
+	if p.gen.families != "" {
+		if err := appendGenRecords(ctx, rep, p); err != nil {
 			return err
 		}
 	}
@@ -372,6 +396,66 @@ func appendReuseRecords(ctx context.Context, rep *bench.Report, p jsonParams) er
 					}
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// appendGenRecords measures construction throughput for the -gen family
+// grid: one GenRecord per (family, size), timing a single BuildInstance call
+// end to end (weight setup, sampling, CSR build). Lattice families are
+// deterministic and parameter-free, so their sizes round down to the nearest
+// valid lattice size (largest 2^d for hypercube, largest r*r for torus) and
+// param/seed are recorded as zero.
+func appendGenRecords(ctx context.Context, rep *bench.Report, p jsonParams) error {
+	fams, err := sweep.ParseFamilies(p.gen.families)
+	if err != nil {
+		return err
+	}
+	for _, f := range fams {
+		for _, size := range p.gen.sizes {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("generator grid canceled: %w", err)
+			}
+			n := size
+			param := p.gen.param
+			seed := p.seed
+			if f.Deterministic() {
+				param, seed = 0, 0
+				switch f {
+				case sweep.FamilyHypercube:
+					n = 8
+					for n*2 <= size {
+						n *= 2
+					}
+				case sweep.FamilyTorus:
+					side := 3
+					for (side+1)*(side+1) <= size {
+						side++
+					}
+					n = side * side
+				}
+			}
+			start := time.Now()
+			g, err := sweep.BuildInstance(f, n, param, p.gen.delta, seed)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("gen %s n=%d: %w", f, n, err)
+			}
+			rec := bench.GenRecord{
+				Family:      f.String(),
+				N:           n,
+				M:           int64(g.M()),
+				Param:       param,
+				Seed:        seed,
+				WallSeconds: wall,
+			}
+			if wall > 0 {
+				rec.EdgesPerSec = float64(g.M()) / wall
+			}
+			rep.Generators = append(rep.Generators, rec)
+			fmt.Printf("gen %s n=%d: m=%d wall=%.3fs (%.2gM edges/sec)\n",
+				f, n, g.M(), wall, rec.EdgesPerSec/1e6)
 		}
 	}
 	return nil

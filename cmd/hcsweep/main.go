@@ -22,8 +22,18 @@
 //
 //	hcsweep -json sweep.json -families gnp -sizes 256,512 -params 1.5 \
 //	    -delta 0.5 -algos dra,upcast -engines step -trials 20 -seed 1
+//	hcsweep -json atlas.json -families powerlaw,geometric,sbm -sizes 256,512 \
+//	    -params 2,4,8 -delta 0.25 -algos dra -engines step -trials 50
 //	hcsweep -json sweep.json -config grid.json -workers 8 -resume
 //	hcsweep -validate sweep.json
+//
+// Families: gnp and gnm sweep p = c*ln(n)/n^delta with param = c; regular
+// sweeps degree d = param; powerlaw (Chung–Lu, exponent 2.5) and sbm
+// (4 blocks, pIn/pOut = 4) reuse the gnp threshold parameterization for
+// their mean degree; geometric sweeps radius r = c*sqrt(ln n/(pi n)) with
+// param = c; hypercube and torus are deterministic lattices whose param
+// axis collapses to a single cell per size (hypercube sizes must be 2^d or
+// the punctured 2^d-1, torus sizes a perfect square).
 //
 // The -config file is the JSON form of the same grid spec:
 //
@@ -85,10 +95,10 @@ func run() error {
 		validate = flag.String("validate", "", "validate an existing report (schema + no config-error cells) and exit")
 		config   = flag.String("config", "", "JSON grid spec file; flags below fill axes the file omits")
 		rev      = flag.String("rev", "dev", "revision label embedded in the report")
-		families = flag.String("families", "gnp", "comma-separated graph families (gnp,gnm,regular)")
-		sizes    = flag.String("sizes", "256,512", "comma-separated vertex counts")
-		params   = flag.String("params", "1.5", "comma-separated density parameters: threshold constant c for gnp/gnm, degree d for regular")
-		delta    = flag.Float64("delta", 1.0, "threshold exponent of p = c*ln(n)/n^delta (gnp/gnm)")
+		families = flag.String("families", "gnp", "comma-separated graph families (gnp,gnm,regular,powerlaw,geometric,sbm,hypercube,torus)")
+		sizes    = flag.String("sizes", "256,512", "comma-separated vertex counts (hypercube wants 2^d or 2^d-1, torus a perfect square)")
+		params   = flag.String("params", "1.5", "comma-separated density parameters: threshold constant c for gnp/gnm/powerlaw/sbm, degree d for regular, radius constant c for geometric (ignored by hypercube/torus)")
+		delta    = flag.Float64("delta", 1.0, "threshold exponent of p = c*ln(n)/n^delta (gnp/gnm/powerlaw/sbm)")
 		algos    = flag.String("algos", "dra", "comma-separated algorithms (dra,dhc1,dhc2,upcast)")
 		engines  = flag.String("engines", "step", "comma-separated engines (step,exact,exact-dense)")
 		trials   = flag.Int("trials", 20, "Monte Carlo trials per cell")

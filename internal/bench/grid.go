@@ -39,6 +39,24 @@ func EngineModeNames() []string {
 	return []string{"exact", "exact-dense", "step"}
 }
 
+// FamilyNames returns the graph-family vocabulary of the report schema in
+// sorted order: the spellings sweep cells and generator records may carry.
+// sweep.FamilyNames must stay in lockstep (pinned by a test there); the list
+// lives here because the schema validator cannot import the sweep package.
+func FamilyNames() []string {
+	return []string{"geometric", "gnm", "gnp", "hypercube", "powerlaw", "regular", "sbm", "torus"}
+}
+
+// ValidFamily reports whether name is in the FamilyNames vocabulary.
+func ValidFamily(name string) bool {
+	for _, f := range FamilyNames() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
 // ParseEngineMode resolves one engine column name. The error of an unknown
 // name lists the valid names deterministically (sorted), so CLI messages are
 // stable across runs.

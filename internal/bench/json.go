@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // SchemaVersion identifies the BENCH_<rev>.json layout. Bump it when a field
@@ -185,6 +186,27 @@ type ScalingFit struct {
 	StepsSlope  float64 `json:"steps_slope,omitempty"`
 }
 
+// GenRecord is one measured graph-construction run: how fast a generator
+// family builds an instance at a given size. Generator throughput is part of
+// the perf trajectory because the sweep pipeline regenerates every trial's
+// graph — a slow generator taxes every Monte Carlo cell that uses it.
+type GenRecord struct {
+	// Family is the generator's family name (FamilyNames vocabulary).
+	Family string `json:"family"`
+	// N is the instance's vertex count; M its realized edge count.
+	N int   `json:"n"`
+	M int64 `json:"m"`
+	// Param is the family's density knob with the same meaning as
+	// CellStats.Param (0 for the deterministic lattices).
+	Param float64 `json:"param,omitempty"`
+	// Seed is the generator seed (0 for deterministic families).
+	Seed uint64 `json:"seed,omitempty"`
+	// WallSeconds is the construction wall-clock; EdgesPerSec is
+	// M/WallSeconds, the throughput this section tracks.
+	WallSeconds float64 `json:"wall_seconds"`
+	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
+}
+
 // SweepSection is the schema-v2 Monte Carlo payload: the grid's per-cell
 // statistics plus the scaling fits across cells. MasterSeed, TrialsPerCell
 // and the solver overrides pin the sweep's determinism contract —
@@ -213,8 +235,13 @@ type Report struct {
 	NumCPU    int      `json:"num_cpu"`
 	Records   []Record `json:"records,omitempty"`
 	// Sweep is the v2 Monte Carlo section (hcsweep); nil for pure
-	// benchmark reports. A report must carry records, a sweep, or both.
+	// benchmark reports. A report must carry records, a sweep, generator
+	// records, or any combination.
 	Sweep *SweepSection `json:"sweep,omitempty"`
+	// Generators holds graph-construction throughput rows (hcbench -gen).
+	// A pure addition to schema v2: absent in older reports, ignored by
+	// older readers.
+	Generators []GenRecord `json:"generators,omitempty"`
 }
 
 // NewReport creates an empty report for the given revision label and host.
@@ -265,8 +292,8 @@ func (r *Report) Validate() error {
 	if r.Rev == "" {
 		return fmt.Errorf("bench: report missing rev")
 	}
-	if len(r.Records) == 0 && r.Sweep == nil {
-		return fmt.Errorf("bench: report has neither records nor a sweep section")
+	if len(r.Records) == 0 && r.Sweep == nil && len(r.Generators) == 0 {
+		return fmt.Errorf("bench: report has no records, sweep section, or generator records")
 	}
 	if r.Sweep != nil && r.SchemaVersion < 2 {
 		return fmt.Errorf("bench: sweep section requires schema version >= 2, got %d", r.SchemaVersion)
@@ -274,6 +301,21 @@ func (r *Report) Validate() error {
 	if r.Sweep != nil {
 		if err := r.Sweep.validate(); err != nil {
 			return err
+		}
+	}
+	for i, g := range r.Generators {
+		if !ValidFamily(g.Family) {
+			return fmt.Errorf("bench: generator record %d has unknown family %q (valid: %s)",
+				i, g.Family, strings.Join(FamilyNames(), ", "))
+		}
+		if g.N <= 0 {
+			return fmt.Errorf("bench: generator record %d has n = %d", i, g.N)
+		}
+		if g.M < 0 {
+			return fmt.Errorf("bench: generator record %d has m = %d", i, g.M)
+		}
+		if g.WallSeconds < 0 {
+			return fmt.Errorf("bench: generator record %d has negative wall time", i)
 		}
 	}
 	for i, rec := range r.Records {
@@ -319,8 +361,9 @@ func (s *SweepSection) validate() error {
 	seen := make(map[string]bool, len(s.Cells))
 	for i := range s.Cells {
 		c := &s.Cells[i]
-		if c.Family != "gnp" && c.Family != "gnm" && c.Family != "regular" {
-			return fmt.Errorf("bench: sweep cell %d has unknown family %q", i, c.Family)
+		if !ValidFamily(c.Family) {
+			return fmt.Errorf("bench: sweep cell %d has unknown family %q (valid: %s)",
+				i, c.Family, strings.Join(FamilyNames(), ", "))
 		}
 		if c.Algo == "" {
 			return fmt.Errorf("bench: sweep cell %d missing algo", i)

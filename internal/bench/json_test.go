@@ -60,7 +60,7 @@ func TestReportValidationRejects(t *testing.T) {
 	}{
 		{"bad-version", func(r *Report) { r.SchemaVersion = 99 }, "schema version"},
 		{"no-rev", func(r *Report) { r.Rev = "" }, "missing rev"},
-		{"no-records", func(r *Report) { r.Records = nil }, "neither records nor a sweep"},
+		{"no-records", func(r *Report) { r.Records = nil }, "no records, sweep section, or generator records"},
 		{"bad-engine", func(r *Report) { r.Records[0].Engine = "warp" }, "unknown engine"},
 		{"bad-n", func(r *Report) { r.Records[0].N = 0 }, "has n"},
 		{"ok-with-error", func(r *Report) { r.Records[0].Error = "boom" }, "carries error"},

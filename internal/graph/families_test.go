@@ -1,0 +1,443 @@
+package graph
+
+// Property and fuzz tests for the atlas generator families (Chung–Lu,
+// geometric, SBM, hypercube, torus). The shared contract — simplicity,
+// strictly sorted CSR rows, byte-identical output for equal seeds — mirrors
+// the random-regular suite; each family then pins the structural invariants
+// that define it (power-law skew, distance-exactness, block densities,
+// degree regularity, bipartite parity, wrap edges).
+
+import (
+	"bytes"
+	"math"
+	"math/bits"
+	"testing"
+
+	"dhc/internal/rng"
+)
+
+// checkSimpleSorted asserts the CSR contract every generator shares: the
+// vertex count matches, rows are strictly sorted (which rules out duplicate
+// edges), no self-loops, and every arc has its reverse.
+func checkSimpleSorted(t *testing.T, g *Graph, n int) {
+	t.Helper()
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(NodeID(v))
+		for i, w := range nb {
+			if w == NodeID(v) {
+				t.Fatalf("self-loop at vertex %d", v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("row %d not strictly sorted (duplicate edge?): %v", v, nb)
+			}
+			if !g.HasEdge(w, NodeID(v)) {
+				t.Fatalf("arc (%d,%d) missing its reverse", v, w)
+			}
+		}
+	}
+}
+
+// checkSeedDeterminism regenerates through gen twice with equal seeds and
+// once with a different seed: the equal-seed pair must serialize to
+// byte-identical edge lists, the third must not (for generators with at
+// least one random edge decision).
+func checkSeedDeterminism(t *testing.T, gen func(seed uint64) *Graph) {
+	t.Helper()
+	var a, b, c bytes.Buffer
+	if err := gen(42).WriteEdgeList(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen(42).WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equal seeds produced different edge lists")
+	}
+	if err := gen(43).WriteEdgeList(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical edge lists")
+	}
+}
+
+func TestChungLuInvariants(t *testing.T) {
+	const n, avgDeg = 2000, 12.0
+	g := ChungLu(n, avgDeg, 2.5, rng.New(7))
+	checkSimpleSorted(t, g, n)
+	// Mean degree should land near avgDeg (clipping at min(1, ·) only trims
+	// the few heaviest pairs).
+	if got := g.AvgDegree(); got < avgDeg*0.7 || got > avgDeg*1.3 {
+		t.Fatalf("avg degree %.2f, want near %v", got, avgDeg)
+	}
+	// Weights are non-increasing in the vertex index, so degrees must skew
+	// heavily toward low indices: the first 1% of vertices outweighs the
+	// uniform share by a wide margin.
+	head := 0
+	for v := 0; v < n/100; v++ {
+		head += g.Degree(NodeID(v))
+	}
+	if frac := float64(head) / (2 * float64(g.M())); frac < 0.05 {
+		t.Fatalf("head-degree fraction %.3f too flat for a power law", frac)
+	}
+	if g.Degree(0) <= g.Degree(NodeID(n-1)) {
+		t.Fatalf("degree skew inverted: deg(0)=%d deg(n-1)=%d", g.Degree(0), g.Degree(NodeID(n-1)))
+	}
+}
+
+func TestChungLuDeterminism(t *testing.T) {
+	checkSeedDeterminism(t, func(seed uint64) *Graph {
+		return ChungLu(300, 8, 2.5, rng.New(seed))
+	})
+}
+
+func TestChungLuEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		n      int
+		avgDeg float64
+	}{
+		{"n=0", 0, 4}, {"n=1", 1, 4}, {"negative n", -3, 4},
+		{"zero degree", 50, 0}, {"NaN degree", 50, math.NaN()},
+	} {
+		g := ChungLu(tc.n, tc.avgDeg, 2.5, rng.New(1))
+		if g.M() != 0 {
+			t.Errorf("%s: m = %d, want 0", tc.name, g.M())
+		}
+	}
+	// avgDeg beyond n-1 clamps instead of producing probabilities > 1 edges.
+	g := ChungLu(10, 100, 2.5, rng.New(1))
+	checkSimpleSorted(t, g, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exponent <= 2 did not panic")
+		}
+	}()
+	ChungLu(10, 4, 2.0, rng.New(1))
+}
+
+// TestGeometricExactEdgeSet re-derives the point set from the same seed and
+// brute-forces all pairs: the bucketed generator must produce exactly the
+// edges at distance <= radius, no more, no less.
+func TestGeometricExactEdgeSet(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		radius float64
+		seed   uint64
+	}{
+		{200, 0.08, 3},  // several buckets
+		{60, 0.5, 4},    // radius wider than the bucket cap
+		{500, 0.01, 5},  // sparse, tiny radius
+		{40, 1.5, 6},    // beyond sqrt2 -> complete
+		{30, 0.0001, 7}, // likely edgeless
+	} {
+		g := Geometric(tc.n, tc.radius, rng.New(tc.seed))
+		checkSimpleSorted(t, g, tc.n)
+		src := rng.New(tc.seed)
+		xs := make([]float64, tc.n)
+		ys := make([]float64, tc.n)
+		for i := 0; i < tc.n; i++ {
+			xs[i] = src.Float64()
+			ys[i] = src.Float64()
+		}
+		var want int
+		for i := 0; i < tc.n; i++ {
+			for j := i + 1; j < tc.n; j++ {
+				dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+				in := dx*dx+dy*dy <= tc.radius*tc.radius
+				if in {
+					want++
+				}
+				if got := g.HasEdge(NodeID(i), NodeID(j)); got != in {
+					t.Fatalf("n=%d r=%v: edge (%d,%d) = %v, want %v",
+						tc.n, tc.radius, i, j, got, in)
+				}
+			}
+		}
+		if g.M() != want {
+			t.Fatalf("n=%d r=%v: m = %d, want %d", tc.n, tc.radius, g.M(), want)
+		}
+	}
+}
+
+func TestGeometricDeterminism(t *testing.T) {
+	checkSeedDeterminism(t, func(seed uint64) *Graph {
+		return Geometric(300, 0.1, rng.New(seed))
+	})
+}
+
+func TestGeometricThresholdR(t *testing.T) {
+	if r := GeometricThresholdR(1, 2); r != 0 {
+		t.Fatalf("n=1 threshold = %v, want 0", r)
+	}
+	want := 2 * math.Sqrt(math.Log(1000)/(math.Pi*1000))
+	if r := GeometricThresholdR(1000, 2); math.Abs(r-want) > 1e-12 {
+		t.Fatalf("threshold = %v, want %v", r, want)
+	}
+}
+
+// TestSBMBlockStructure drives the two degenerate corners where the block
+// structure is fully determined: pIn=1/pOut=0 yields k disjoint cliques,
+// pIn=0/pOut=1 the complete multipartite complement.
+func TestSBMBlockStructure(t *testing.T) {
+	const n, k = 40, 4
+	blockOf := func(v int) int { return v * k / n } // inverse of start(i) = i*n/k for equal blocks
+
+	cliques := SBM(n, k, 1, 0, rng.New(1))
+	checkSimpleSorted(t, cliques, n)
+	multi := SBM(n, k, 0, 1, rng.New(1))
+	checkSimpleSorted(t, multi, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := blockOf(i) == blockOf(j)
+			if cliques.HasEdge(NodeID(i), NodeID(j)) != same {
+				t.Fatalf("pIn=1,pOut=0: edge (%d,%d) = %v, want %v",
+					i, j, !same, same)
+			}
+			if multi.HasEdge(NodeID(i), NodeID(j)) == same {
+				t.Fatalf("pIn=0,pOut=1: edge (%d,%d) = %v, want %v",
+					i, j, same, !same)
+			}
+		}
+	}
+}
+
+func TestSBMDensityContrast(t *testing.T) {
+	// With pIn >> pOut the realized within-block density must dominate the
+	// cross-block density by a wide margin.
+	const n, k = 400, 4
+	g := SBM(n, k, 0.4, 0.02, rng.New(9))
+	checkSimpleSorted(t, g, n)
+	blockOf := func(v NodeID) int { return int(v) * k / n }
+	var in, out int64
+	for _, e := range g.Edges() {
+		if blockOf(e.U) == blockOf(e.V) {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Pair counts: within ~ k*(n/k choose 2) = 19800*k/16, cross ~ rest.
+	inPairs := float64(k) * float64(n/k) * float64(n/k-1) / 2
+	outPairs := float64(n)*float64(n-1)/2 - inPairs
+	if din, dout := float64(in)/inPairs, float64(out)/outPairs; din < 5*dout {
+		t.Fatalf("density contrast lost: in=%.3f out=%.3f", din, dout)
+	}
+}
+
+func TestSBMEdgeCases(t *testing.T) {
+	if g := SBM(1, 3, 1, 1, rng.New(1)); g.N() != 1 || g.M() != 0 {
+		t.Fatalf("n=1: got n=%d m=%d", g.N(), g.M())
+	}
+	// k > n clamps to n blocks (all singletons; only cross edges possible).
+	g := SBM(5, 99, 1, 1, rng.New(1))
+	if g.M() != 10 {
+		t.Fatalf("k>n complete: m = %d, want 10", g.M())
+	}
+	// Out-of-range probabilities clamp rather than corrupt the skipping.
+	g = SBM(30, 3, 7.5, -2, rng.New(1))
+	checkSimpleSorted(t, g, 30)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k < 1 did not panic")
+		}
+	}()
+	SBM(10, 0, 0.5, 0.5, rng.New(1))
+}
+
+func TestSBMDeterminism(t *testing.T) {
+	checkSeedDeterminism(t, func(seed uint64) *Graph {
+		return SBM(300, 4, 0.2, 0.02, rng.New(seed))
+	})
+}
+
+func TestHypercubeStructure(t *testing.T) {
+	for dim := 0; dim <= 8; dim++ {
+		g := Hypercube(dim)
+		n := 1 << dim
+		checkSimpleSorted(t, g, n)
+		if int(g.M()) != dim*n/2 {
+			t.Fatalf("Q_%d: m = %d, want %d", dim, g.M(), dim*n/2)
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(NodeID(v)) != dim {
+				t.Fatalf("Q_%d: deg(%d) = %d, want %d", dim, v, g.Degree(NodeID(v)), dim)
+			}
+			// Every neighbor differs in exactly one bit, which also gives the
+			// bipartition by label parity.
+			for _, w := range g.Neighbors(NodeID(v)) {
+				if diff := uint(v) ^ uint(w); bits.OnesCount(diff) != 1 {
+					t.Fatalf("Q_%d: edge (%d,%d) differs in %d bits", dim, v, w, bits.OnesCount(diff))
+				}
+				if bits.OnesCount(uint(v))%2 == bits.OnesCount(uint(w))%2 {
+					t.Fatalf("Q_%d: edge (%d,%d) within one parity class", dim, v, w)
+				}
+			}
+		}
+		if dim >= 1 && !g.Connected() {
+			t.Fatalf("Q_%d disconnected", dim)
+		}
+	}
+	for _, dim := range []int{-1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Hypercube(%d) did not panic", dim)
+				}
+			}()
+			Hypercube(dim)
+		}()
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	for _, tc := range []struct{ rows, cols int }{{3, 3}, {3, 7}, {8, 8}, {5, 12}} {
+		g := Torus(tc.rows, tc.cols)
+		n := tc.rows * tc.cols
+		checkSimpleSorted(t, g, n)
+		if int(g.M()) != 2*n {
+			t.Fatalf("%dx%d: m = %d, want %d", tc.rows, tc.cols, g.M(), 2*n)
+		}
+		id := func(r, c int) NodeID { return NodeID(r*tc.cols + c) }
+		for r := 0; r < tc.rows; r++ {
+			for c := 0; c < tc.cols; c++ {
+				if g.Degree(id(r, c)) != 4 {
+					t.Fatalf("%dx%d: deg(%d,%d) = %d, want 4", tc.rows, tc.cols, r, c, g.Degree(id(r, c)))
+				}
+			}
+		}
+		// The wrap edges close each row and column into a cycle.
+		for c := 0; c < tc.cols; c++ {
+			if !g.HasEdge(id(0, c), id(tc.rows-1, c)) {
+				t.Fatalf("%dx%d: missing vertical wrap at col %d", tc.rows, tc.cols, c)
+			}
+		}
+		for r := 0; r < tc.rows; r++ {
+			if !g.HasEdge(id(r, 0), id(r, tc.cols-1)) {
+				t.Fatalf("%dx%d: missing horizontal wrap at row %d", tc.rows, tc.cols, r)
+			}
+		}
+		if !g.Connected() {
+			t.Fatalf("%dx%d torus disconnected", tc.rows, tc.cols)
+		}
+	}
+}
+
+func TestTorusDegenerate(t *testing.T) {
+	// Length-1 and length-2 dimensions drop their self-loop / duplicate wrap
+	// edges instead of corrupting the CSR.
+	for _, tc := range []struct {
+		rows, cols int
+		wantM      int
+	}{
+		{1, 1, 0}, // single vertex, all edges are self-loops
+		{1, 2, 1}, // K2: wrap duplicates the grid edge
+		{2, 2, 4}, // C4: each dimension's wrap is a duplicate
+		{1, 5, 5}, // C5 as a 1-row torus
+		{2, 3, 9}, // prism: 3-cycle pair plus matching
+	} {
+		g := Torus(tc.rows, tc.cols)
+		checkSimpleSorted(t, g, tc.rows*tc.cols)
+		if g.M() != tc.wantM {
+			t.Fatalf("%dx%d: m = %d, want %d", tc.rows, tc.cols, g.M(), tc.wantM)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Torus(0, 5) did not panic")
+		}
+	}()
+	Torus(0, 5)
+}
+
+// FuzzChungLu throws arbitrary (n, avgDeg, exponent, seed) at the power-law
+// generator: no panic for exponents > 2, simplicity, sortedness, and
+// equal-seed determinism must all hold.
+func FuzzChungLu(f *testing.F) {
+	f.Add(uint8(10), uint8(40), uint8(15), uint64(1))
+	f.Add(uint8(2), uint8(0), uint8(1), uint64(2))     // minimal n, zero degree
+	f.Add(uint8(200), uint8(255), uint8(0), uint64(3)) // degree beyond n-1 clamps
+	f.Fuzz(func(t *testing.T, nRaw, degRaw, expRaw uint8, seed uint64) {
+		n := int(nRaw)%300 + 2
+		avgDeg := float64(degRaw) / 10
+		exponent := 2.01 + float64(expRaw)/32
+		g := ChungLu(n, avgDeg, exponent, rng.New(seed))
+		checkSimpleSorted(t, g, n)
+		g2 := ChungLu(n, avgDeg, exponent, rng.New(seed))
+		if g.M() != g2.M() {
+			t.Fatalf("same seed, different edge counts: %d vs %d", g.M(), g2.M())
+		}
+	})
+}
+
+// FuzzGeometric cross-checks the grid-bucketed generator against the O(n²)
+// brute force on arbitrary (n, radius, seed): the edge set must be exactly
+// the pairs within the radius, for any bucket-grid shape the radius induces.
+func FuzzGeometric(f *testing.F) {
+	f.Add(uint8(50), uint16(800), uint64(1))
+	f.Add(uint8(3), uint16(0), uint64(2))      // radius 0
+	f.Add(uint8(80), uint16(65535), uint64(3)) // beyond sqrt2 -> complete
+	f.Fuzz(func(t *testing.T, nRaw uint8, radiusRaw uint16, seed uint64) {
+		n := int(nRaw)%120 + 1
+		radius := 1.5 * float64(radiusRaw) / 65535
+		g := Geometric(n, radius, rng.New(seed))
+		checkSimpleSorted(t, g, n)
+		src := rng.New(seed)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = src.Float64()
+			ys[i] = src.Float64()
+		}
+		var want int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+				in := dx*dx+dy*dy <= radius*radius
+				if in {
+					want++
+				}
+				if g.HasEdge(NodeID(i), NodeID(j)) != in {
+					t.Fatalf("n=%d r=%v: edge (%d,%d) = %v, want %v",
+						n, radius, i, j, !in, in)
+				}
+			}
+		}
+		if g.M() != want {
+			t.Fatalf("n=%d r=%v: m = %d, want %d", n, radius, g.M(), want)
+		}
+	})
+}
+
+// FuzzSBM throws arbitrary block counts and (possibly out-of-range)
+// probabilities at the block-model generator: edges must stay inside the
+// vertex range, respect simplicity/sortedness, and the degenerate
+// probability corners must produce exactly the clique/multipartite edges.
+func FuzzSBM(f *testing.F) {
+	f.Add(uint8(40), uint8(4), uint16(600), uint16(30), uint64(1))
+	f.Add(uint8(5), uint8(99), uint16(1000), uint16(1000), uint64(2)) // k > n, p=1
+	f.Add(uint8(30), uint8(1), uint16(0), uint16(500), uint64(3))     // single block
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, pInRaw, pOutRaw uint16, seed uint64) {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%(n+2) + 1
+		pIn := float64(pInRaw) / 1000 // may exceed 1: clamping is part of the contract
+		pOut := float64(pOutRaw) / 1000
+		g := SBM(n, k, pIn, pOut, rng.New(seed))
+		checkSimpleSorted(t, g, n)
+		if pIn >= 1 && pOut >= 1 {
+			if n*(n-1)/2 != g.M() {
+				t.Fatalf("p=1 everywhere: m = %d, want complete %d", g.M(), n*(n-1)/2)
+			}
+		}
+		if pIn == 0 && pOut == 0 && g.M() != 0 {
+			t.Fatalf("p=0 everywhere: m = %d, want 0", g.M())
+		}
+		g2 := SBM(n, k, pIn, pOut, rng.New(seed))
+		if g.M() != g2.M() {
+			t.Fatalf("same seed, different edge counts: %d vs %d", g.M(), g2.M())
+		}
+	})
+}

@@ -32,6 +32,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
+	"strings"
 	"time"
 
 	"dhc"
@@ -53,15 +56,53 @@ const (
 	// FamilyRegular is the random d-regular model; the cell parameter is
 	// the degree d.
 	FamilyRegular
+	// FamilyPowerlaw is the Chung–Lu expected-degree power-law model at
+	// tail exponent PowerlawExponent; the cell parameter is the density
+	// constant c of mean degree n·p = n·c·ln n / n^δ.
+	FamilyPowerlaw
+	// FamilyGeometric is the random geometric graph on the unit square;
+	// the cell parameter scales the connectivity-threshold radius
+	// r = c·sqrt(ln n / (π·n)).
+	FamilyGeometric
+	// FamilySBM is the stochastic block model with SBMBlocks contiguous
+	// blocks and in/out probability ratio SBMRatio; the cell parameter is
+	// the density constant c of the mean pair probability c·ln n / n^δ.
+	FamilySBM
+	// FamilyHypercube is the deterministic hypercube lattice control:
+	// size 2^d is the full (Hamiltonian) cube Q_d, size 2^d - 1 the
+	// vertex-deleted cube, non-Hamiltonian by bipartite parity. The param
+	// axis is ignored (cells record param 0).
+	FamilyHypercube
+	// FamilyTorus is the deterministic √n×√n wraparound torus control
+	// (Hamiltonian by construction; sizes must be perfect squares). The
+	// param axis is ignored (cells record param 0).
+	FamilyTorus
+)
+
+// Fixed shape parameters of the parameterized families: the sweep's param
+// axis is one-dimensional (the density knob), so the remaining family shape
+// is pinned here and recorded in the atlas documentation.
+const (
+	// PowerlawExponent is the Chung–Lu tail exponent of FamilyPowerlaw.
+	PowerlawExponent = 2.5
+	// SBMBlocks is FamilySBM's block count.
+	SBMBlocks = 4
+	// SBMRatio is FamilySBM's in/out probability ratio pIn/pOut.
+	SBMRatio = 4.0
 )
 
 var familyNames = map[Family]string{
-	FamilyGNP:     "gnp",
-	FamilyGNM:     "gnm",
-	FamilyRegular: "regular",
+	FamilyGNP:       "gnp",
+	FamilyGNM:       "gnm",
+	FamilyRegular:   "regular",
+	FamilyPowerlaw:  "powerlaw",
+	FamilyGeometric: "geometric",
+	FamilySBM:       "sbm",
+	FamilyHypercube: "hypercube",
+	FamilyTorus:     "torus",
 }
 
-// String returns the family's report spelling ("gnp", "gnm", "regular").
+// String returns the family's report spelling ("gnp", "powerlaw", ...).
 func (f Family) String() string {
 	if s, ok := familyNames[f]; ok {
 		return s
@@ -69,14 +110,30 @@ func (f Family) String() string {
 	return fmt.Sprintf("family(%d)", int(f))
 }
 
-// ParseFamily resolves a family name.
+// FamilyNames returns every family's report spelling in sorted order — the
+// vocabulary ParseFamily accepts, spelled the way its error reports it. It
+// must stay in lockstep with bench.FamilyNames, the report schema's
+// vocabulary (pinned by a test).
+func FamilyNames() []string {
+	names := make([]string, 0, len(familyNames))
+	for _, name := range familyNames {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseFamily resolves a family name. The error of an unknown name lists the
+// valid names deterministically (sorted), so CLI messages are stable across
+// runs — the same contract as dhc.ParseAlgorithm and bench.ParseEngineMode.
 func ParseFamily(s string) (Family, error) {
 	for f, name := range familyNames {
 		if name == s {
 			return f, nil
 		}
 	}
-	return 0, fmt.Errorf("sweep: unknown graph family %q", s)
+	return 0, fmt.Errorf("sweep: unknown graph family %q (valid: %s)",
+		s, strings.Join(FamilyNames(), ", "))
 }
 
 // ParseFamilies resolves a comma-separated family list.
@@ -175,15 +232,81 @@ func (g *Grid) Validate() error {
 		if _, ok := familyNames[f]; !ok {
 			return fmt.Errorf("sweep: unknown family %d", int(f))
 		}
-		if f == FamilyRegular {
+		switch f {
+		case FamilyRegular:
 			for _, p := range g.Params {
 				if p != math.Trunc(p) || p < 1 {
 					return fmt.Errorf("sweep: regular family needs integer degree params, got %v", p)
 				}
 			}
+		case FamilyHypercube:
+			// A size is either the full cube 2^d (Hamiltonian) or the
+			// vertex-deleted cube 2^d - 1 (the family's in-grid negative
+			// control: bipartite with unequal sides, hence no Hamiltonian
+			// cycle).
+			for _, n := range g.Sizes {
+				if n < 8 || (!isPow2(n) && !isPow2(n+1)) {
+					return fmt.Errorf("sweep: hypercube sizes must be 2^d or 2^d-1 with d >= 3, got %d", n)
+				}
+			}
+		case FamilyTorus:
+			for _, n := range g.Sizes {
+				if r := intSqrt(n); r < 3 || r*r != n {
+					return fmt.Errorf("sweep: torus sizes must be perfect squares >= 9, got %d", n)
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && bits.OnesCount(uint(n)) == 1 }
+
+// intSqrt returns the floor of √n for n >= 0.
+func intSqrt(n int) int {
+	r := int(math.Sqrt(float64(n)))
+	for r*r > n {
+		r--
+	}
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// usesDelta reports whether the family's density is parameterized by the
+// threshold exponent δ of p = c·ln n / n^δ. Families with their own density
+// scaling (regular's degree, geometric's radius) and the deterministic
+// lattices record delta 0 in their cells.
+func (f Family) usesDelta() bool {
+	switch f {
+	case FamilyGNP, FamilyGNM, FamilyPowerlaw, FamilySBM:
+		return true
+	}
+	return false
+}
+
+// Deterministic reports whether the family ignores both the param axis and
+// the graph seed: one size fully determines the instance. Cells of a
+// deterministic family are emitted once per size with param recorded as 0.
+func (f Family) Deterministic() bool {
+	return f == FamilyHypercube || f == FamilyTorus
+}
+
+// BuildInstance samples one instance of the family at the given size,
+// density parameter, threshold exponent and seed, using exactly the mapping
+// the sweep's cells use (so bench and calibration tooling measure the same
+// graphs the Monte Carlo trials solve). Families that do not use delta or
+// the param axis ignore those arguments the same way their cells do.
+func BuildInstance(f Family, n int, param, delta float64, seed uint64) (*dhc.Graph, error) {
+	if !f.usesDelta() {
+		delta = 0
+	}
+	if f.Deterministic() {
+		param = 0
+	}
+	return buildGraph(Cell{Family: f, N: n, Param: param, Delta: delta}, seed)
 }
 
 // Cells enumerates the grid in its canonical order: family, n, param, algo,
@@ -192,11 +315,18 @@ func (g *Grid) Cells() []Cell {
 	var cells []Cell
 	for _, f := range g.Families {
 		delta := g.delta()
-		if f == FamilyRegular {
+		if !f.usesDelta() {
 			delta = 0
 		}
+		params := g.Params
+		if f.Deterministic() {
+			// The lattice controls have no density knob: collapse the param
+			// axis so one size yields one cell (param recorded as 0), keeping
+			// cell keys unique in grids that sweep params for other families.
+			params = []float64{0}
+		}
 		for _, n := range g.Sizes {
-			for _, param := range g.Params {
+			for _, param := range params {
 				for _, algo := range g.Algos {
 					for _, engine := range g.Engines {
 						cells = append(cells, Cell{
@@ -353,7 +483,7 @@ func runCell(ctx context.Context, grid *Grid, cell Cell, master *rng.Source, opt
 		Engine: cell.Engine.Name(),
 		Trials: trials,
 	}
-	if cell.Family != FamilyRegular {
+	if cell.Family.usesDelta() {
 		stats.P = graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
 	}
 	var rounds, steps, msgs, bits []int64
@@ -424,7 +554,8 @@ func runTrial(ctx context.Context, grid *Grid, cell Cell, solver *dhc.Solver, st
 	return out
 }
 
-// buildGraph samples the cell's instance from the graph seed.
+// buildGraph samples the cell's instance from the graph seed. Deterministic
+// families ignore the seed: their instance is a pure function of the size.
 func buildGraph(cell Cell, seed uint64) (*dhc.Graph, error) {
 	switch cell.Family {
 	case FamilyGNP:
@@ -439,6 +570,41 @@ func buildGraph(cell Cell, seed uint64) (*dhc.Graph, error) {
 		return dhc.NewGNM(cell.N, m, seed), nil
 	case FamilyRegular:
 		return dhc.NewRandomRegular(cell.N, int(cell.Param), seed)
+	case FamilyPowerlaw:
+		avg := float64(cell.N) * graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
+		return dhc.NewChungLu(cell.N, avg, PowerlawExponent, seed), nil
+	case FamilyGeometric:
+		return dhc.NewGeometric(cell.N, graph.GeometricThresholdR(cell.N, cell.Param), seed), nil
+	case FamilySBM:
+		// The param scales the mean pair probability p̄ = c·ln n / n^δ; the
+		// fixed in/out ratio R and block count k then pin
+		// pOut = k·p̄/(R+k-1), pIn = R·pOut (equal-block mixture mean p̄).
+		pbar := graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
+		pOut := float64(SBMBlocks) * pbar / (SBMRatio + float64(SBMBlocks) - 1)
+		return dhc.NewSBM(cell.N, SBMBlocks, SBMRatio*pOut, pOut, seed), nil
+	case FamilyHypercube:
+		dim := bits.Len(uint(cell.N)) - 1
+		if isPow2(cell.N + 1) {
+			// The vertex-deleted cube: Q_dim minus its all-ones corner,
+			// bipartite with unequal sides — the family's negative control.
+			dim = bits.Len(uint(cell.N+1)) - 1
+			keep := make([]graph.NodeID, cell.N)
+			for i := range keep {
+				keep[i] = graph.NodeID(i)
+			}
+			g, _ := dhc.NewHypercube(dim).InducedSubgraph(keep)
+			return g, nil
+		}
+		if !isPow2(cell.N) {
+			return nil, fmt.Errorf("sweep: hypercube size %d is neither 2^d nor 2^d-1", cell.N)
+		}
+		return dhc.NewHypercube(dim), nil
+	case FamilyTorus:
+		r := intSqrt(cell.N)
+		if r*r != cell.N {
+			return nil, fmt.Errorf("sweep: torus size %d is not a perfect square", cell.N)
+		}
+		return dhc.NewTorus(r, r), nil
 	default:
 		return nil, fmt.Errorf("sweep: unknown family %d", int(cell.Family))
 	}

@@ -281,20 +281,96 @@ func TestGridValidate(t *testing.T) {
 	}
 }
 
-// TestParseFamily round-trips the family vocabulary.
+// TestParseFamily round-trips the family vocabulary and pins the
+// deterministic (sorted) vocabulary listing of the parse error, matching
+// the ParseAlgorithm / ParseEngineMode contract.
 func TestParseFamily(t *testing.T) {
-	for _, f := range []Family{FamilyGNP, FamilyGNM, FamilyRegular} {
+	for _, f := range []Family{
+		FamilyGNP, FamilyGNM, FamilyRegular,
+		FamilyPowerlaw, FamilyGeometric, FamilySBM, FamilyHypercube, FamilyTorus,
+	} {
 		got, err := ParseFamily(f.String())
 		if err != nil || got != f {
 			t.Fatalf("round trip %v: got %v, %v", f, got, err)
 		}
 	}
-	if _, err := ParseFamily("smallworld"); err == nil {
+	_, err := ParseFamily("smallworld")
+	if err == nil {
 		t.Fatal("unknown family accepted")
+	}
+	want := `sweep: unknown graph family "smallworld" (valid: geometric, gnm, gnp, hypercube, powerlaw, regular, sbm, torus)`
+	if err.Error() != want {
+		t.Fatalf("ParseFamily error = %q, want %q", err.Error(), want)
 	}
 	fams, err := ParseFamilies("gnp, regular")
 	if err != nil || len(fams) != 2 {
 		t.Fatalf("ParseFamilies: %v, %v", fams, err)
+	}
+}
+
+// TestFamilyNamesLockstep pins the two family vocabularies to each other:
+// sweep.FamilyNames derives from the parse map that drives the CLIs, and
+// bench.FamilyNames is the report schema's hand-maintained copy (the bench
+// package cannot import sweep). A family added to one side only fails here.
+func TestFamilyNamesLockstep(t *testing.T) {
+	got, want := FamilyNames(), bench.FamilyNames()
+	if len(got) != len(want) {
+		t.Fatalf("sweep.FamilyNames = %v, bench.FamilyNames = %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("vocabulary diverged at %d: sweep=%v bench=%v", i, got, want)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("FamilyNames not sorted: %v", got)
+		}
+	}
+	for _, name := range got {
+		if !bench.ValidFamily(name) {
+			t.Fatalf("bench.ValidFamily(%q) = false for a listed family", name)
+		}
+		if _, err := ParseFamily(name); err != nil {
+			t.Fatalf("ParseFamily(%q) failed for a listed family: %v", name, err)
+		}
+	}
+}
+
+// TestGridValidateLatticeSizes pins the structured-family size rules:
+// hypercube cells need 2^d or the punctured 2^d−1 vertices, torus cells a
+// perfect square with side >= 3.
+func TestGridValidateLatticeSizes(t *testing.T) {
+	base := Grid{
+		Params:  []float64{1},
+		Algos:   []dhc.Algorithm{dhc.AlgorithmDRA},
+		Engines: []bench.EngineMode{{Engine: dhc.EngineStep}},
+		Trials:  1, MasterSeed: 1,
+	}
+	for _, tc := range []struct {
+		family Family
+		size   int
+		ok     bool
+	}{
+		{FamilyHypercube, 64, true},
+		{FamilyHypercube, 63, true}, // punctured 2^6 − 1
+		{FamilyHypercube, 65, false},
+		{FamilyHypercube, 4, false}, // below the solver's minimum scale
+		{FamilyTorus, 64, true},
+		{FamilyTorus, 9, true},
+		{FamilyTorus, 60, false},
+		{FamilyTorus, 4, false}, // side 2 degenerates to duplicate wraps
+	} {
+		g := base
+		g.Families = []Family{tc.family}
+		g.Sizes = []int{tc.size}
+		err := g.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%v n=%d rejected: %v", tc.family, tc.size, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%v n=%d accepted", tc.family, tc.size)
+		}
 	}
 }
 
