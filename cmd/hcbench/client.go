@@ -1,0 +1,329 @@
+package main
+
+// The -client load-test mode: drive a running hcserve instance with a
+// deterministic request mix and record latency/throughput/cache behaviour as
+// bench.ServiceRecord rows.
+//
+// The mix is the cartesian grid -sizes × -algos × -engines × -clientSeeds of
+// generated gnp instances (the same parameterization the solver pipeline
+// benches), so the distinct-request count is known up front. Two passes run:
+//
+//	cold  each distinct request once — every response is computed, which
+//	      populates the server's replay cache;
+//	warm  -clientRequests requests drawn round-robin from the same mix —
+//	      with an adequate cache every response is a replayed hit.
+//
+// The cold/warm p50 ratio is the cache-hit speedup (Report.CacheSpeedup).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dhc/internal/bench"
+)
+
+// clientParams shapes one -client run.
+type clientParams struct {
+	url          string
+	conns        int
+	requests     int // warm-pass request count
+	seeds        int // seeds per grid point in the mix
+	grid         benchGrid
+	colors       int
+	delta, cmult float64
+	timeoutMS    int64
+	out, rev     string
+}
+
+// clientRequest is one distinct request body of the mix.
+type clientRequest struct {
+	label string
+	body  []byte
+}
+
+// buildMix expands the grid into the distinct request bodies. The bodies are
+// pure functions of the flags, so a cold pass against a fresh server always
+// misses and a warm pass over the same mix always hits.
+func buildMix(p clientParams) ([]clientRequest, error) {
+	type wire struct {
+		Family    string  `json:"family"`
+		N         int     `json:"n"`
+		Param     float64 `json:"param"`
+		GraphSeed uint64  `json:"graph_seed"`
+		Algo      string  `json:"algo"`
+		Engine    string  `json:"engine"`
+		Seed      uint64  `json:"seed"`
+		Delta     float64 `json:"delta"`
+		NumColors int     `json:"num_colors,omitempty"`
+		TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	}
+	var mix []clientRequest
+	for _, n := range p.grid.sizes {
+		for _, algo := range p.grid.algos {
+			for _, engine := range p.grid.engines {
+				for s := 0; s < p.seeds; s++ {
+					w := wire{
+						Family:    "gnp",
+						N:         n,
+						Param:     p.cmult,
+						GraphSeed: uint64(s)*1000003 + uint64(n),
+						Algo:      algo.String(),
+						Engine:    engine.Name(),
+						Seed:      uint64(s + 1),
+						Delta:     p.delta,
+						NumColors: p.colors,
+						TimeoutMS: p.timeoutMS,
+					}
+					body, err := json.Marshal(w)
+					if err != nil {
+						return nil, err
+					}
+					mix = append(mix, clientRequest{
+						label: fmt.Sprintf("%s/%s n=%d seed=%d", w.Algo, w.Engine, n, w.Seed),
+						body:  body,
+					})
+				}
+			}
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty client request mix")
+	}
+	return mix, nil
+}
+
+// passResult aggregates one pass's per-request observations.
+type passResult struct {
+	latencies []time.Duration
+	hits      int
+	misses    int
+	errors    int
+	wall      time.Duration
+}
+
+// runPass issues requests[i] for every i in order (conns workers pull from a
+// shared index feed), classifying each response by status and X-Cache.
+func runPass(ctx context.Context, p clientParams, mix []clientRequest, order []int) passResult {
+	var (
+		mu  sync.Mutex
+		res passResult
+		wg  sync.WaitGroup
+	)
+	res.latencies = make([]time.Duration, 0, len(order))
+	feed := make(chan int)
+	conns := p.conns
+	if conns > len(order) {
+		conns = len(order)
+	}
+	// The default transport keeps only 2 idle connections per host; with more
+	// workers than that, every third request would redial and the latency
+	// quantiles would measure connection churn instead of the server.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = conns
+	transport.MaxIdleConnsPerHost = conns
+	client := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+	defer transport.CloseIdleConnections()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range feed {
+				req := mix[idx]
+				start := time.Now()
+				resp, err := client.Post(p.url+"/solve", "application/json", bytes.NewReader(req.body))
+				lat := time.Since(start)
+				var cache string
+				ok := false
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					cache = resp.Header.Get("X-Cache")
+					// Outcome statuses are fine; transport errors,
+					// rejections and server errors are not.
+					switch resp.StatusCode {
+					case http.StatusOK, http.StatusNotFound, http.StatusUnprocessableEntity:
+						ok = true
+					}
+				}
+				mu.Lock()
+				res.latencies = append(res.latencies, lat)
+				switch {
+				case !ok:
+					res.errors++
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "client: %s: %v\n", req.label, err)
+					} else {
+						fmt.Fprintf(os.Stderr, "client: %s: HTTP %d\n", req.label, resp.StatusCode)
+					}
+				case cache == "hit":
+					res.hits++
+				default:
+					res.misses++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+feeding:
+	for _, idx := range order {
+		select {
+		case feed <- idx:
+		case <-ctx.Done():
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	res.wall = time.Since(start)
+	return res
+}
+
+// quantileMS returns the nearest-rank quantile of latencies in milliseconds
+// (sorting the slice in place).
+func quantileMS(latencies []time.Duration, q float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies[int(q*float64(len(latencies)-1))].Seconds() * 1e3
+}
+
+// record converts a pass into its report row.
+func (p clientParams) record(pass string, mix []clientRequest, r passResult) bench.ServiceRecord {
+	rec := bench.ServiceRecord{
+		Pass:        pass,
+		Conns:       p.conns,
+		Requests:    len(r.latencies),
+		Distinct:    len(mix),
+		Algos:       joinAlgos(p.grid),
+		Engines:     joinEngines(p.grid),
+		Sizes:       joinInts(p.grid.sizes),
+		WallSeconds: r.wall.Seconds(),
+		P50MS:       quantileMS(r.latencies, 0.50),
+		P99MS:       quantileMS(r.latencies, 0.99),
+		Hits:        r.hits,
+		Misses:      r.misses,
+		Errors:      r.errors,
+	}
+	if rec.WallSeconds > 0 {
+		rec.ReqPerSec = float64(rec.Requests) / rec.WallSeconds
+	}
+	return rec
+}
+
+func joinAlgos(g benchGrid) string {
+	parts := make([]string, len(g.algos))
+	for i, a := range g.algos {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinEngines(g benchGrid) string {
+	parts := make([]string, len(g.engines))
+	for i, e := range g.engines {
+		parts[i] = e.Name()
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinInts(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// runClient executes the load test: health check, cold pass, warm pass,
+// report. The warm pass re-draws from the same mix, so against a server with
+// cache capacity >= the mix size it must be all hits — a miss there means
+// the determinism contract or the cache broke, and shows up as a recorded
+// Misses count (and a much slower p50).
+func runClient(ctx context.Context, p clientParams) error {
+	if p.conns < 1 {
+		p.conns = 1
+	}
+	if p.seeds < 1 {
+		p.seeds = 1
+	}
+	mix, err := buildMix(p)
+	if err != nil {
+		return err
+	}
+	if p.requests < len(mix) {
+		p.requests = len(mix)
+	}
+
+	resp, err := http.Get(p.url + "/healthz")
+	if err != nil {
+		return fmt.Errorf("hcserve not reachable at %s: %w", p.url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Cold: each distinct request exactly once.
+	coldOrder := make([]int, len(mix))
+	for i := range coldOrder {
+		coldOrder[i] = i
+	}
+	cold := runPass(ctx, p, mix, coldOrder)
+	coldRec := p.record("cold", mix, cold)
+	fmt.Printf("cold: %d requests over %d conns in %.3fs (%.1f req/s, p50 %.2fms, p99 %.2fms, %d hits / %d misses / %d errors)\n",
+		coldRec.Requests, coldRec.Conns, coldRec.WallSeconds, coldRec.ReqPerSec,
+		coldRec.P50MS, coldRec.P99MS, coldRec.Hits, coldRec.Misses, coldRec.Errors)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("client run canceled: %w", err)
+	}
+
+	// Warm: p.requests draws round-robin over the now-cached mix.
+	warmOrder := make([]int, p.requests)
+	for i := range warmOrder {
+		warmOrder[i] = i % len(mix)
+	}
+	warm := runPass(ctx, p, mix, warmOrder)
+	warmRec := p.record("warm", mix, warm)
+	fmt.Printf("warm: %d requests over %d conns in %.3fs (%.1f req/s, p50 %.2fms, p99 %.2fms, %d hits / %d misses / %d errors)\n",
+		warmRec.Requests, warmRec.Conns, warmRec.WallSeconds, warmRec.ReqPerSec,
+		warmRec.P50MS, warmRec.P99MS, warmRec.Hits, warmRec.Misses, warmRec.Errors)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("client run canceled: %w", err)
+	}
+
+	rep := bench.NewReport(p.rev, runtime.Version(), runtime.NumCPU())
+	rep.Service = []bench.ServiceRecord{coldRec, warmRec}
+	if s, ok := rep.CacheSpeedup(); ok {
+		fmt.Printf("cache-hit speedup: %.1fx (cold p50 %.2fms / warm p50 %.2fms)\n",
+			s, coldRec.P50MS, warmRec.P50MS)
+	}
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	if p.out == "" {
+		return nil
+	}
+	f, err := os.Create(p.out)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d service records, schema v%d)\n", p.out, len(rep.Service), rep.SchemaVersion)
+	return nil
+}

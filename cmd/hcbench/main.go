@@ -67,6 +67,12 @@ func run() error {
 		genParam   = flag.Float64("genParam", 4, "pipeline: density parameter for the -gen families (same meaning as a sweep cell's param; ignored by lattices)")
 		genDelta   = flag.Float64("genDelta", 1, "pipeline: density exponent for the -gen families (independent of -delta: construction throughput is usually measured in the sparse regime)")
 
+		client       = flag.String("client", "", "load-test mode: base URL of a running hcserve (e.g. http://127.0.0.1:8080); issues a cold pass then a warm pass over the -sizes x -algos x -engines x -clientSeeds request mix and records latency/throughput/cache rows")
+		clientConns  = flag.Int("clientConns", 4, "client mode: concurrent connections")
+		clientReqs   = flag.Int("clientRequests", 128, "client mode: warm-pass request count (raised to the mix size when smaller)")
+		clientSeeds  = flag.Int("clientSeeds", 4, "client mode: solver seeds per grid point in the request mix")
+		clientSolveT = flag.Int64("clientTimeoutMS", 0, "client mode: per-request solve deadline in milliseconds (0 = the server's default)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 	)
@@ -100,6 +106,20 @@ func run() error {
 
 	if *validate != "" {
 		return runValidate(*validate)
+	}
+	if *client != "" {
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runClient(ctx, clientParams{
+			url:   strings.TrimRight(*client, "/"),
+			conns: *clientConns, requests: *clientReqs, seeds: *clientSeeds,
+			grid: grid, colors: *colors, delta: *delta, cmult: *cmult,
+			timeoutMS: *clientSolveT, out: *jsonOut, rev: *rev,
+		})
 	}
 	if *jsonOut != "" {
 		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
@@ -508,8 +528,19 @@ func runValidate(path string) error {
 		}
 		return fmt.Errorf("%d of %d runs failed", len(failed), len(rep.Records))
 	}
-	fmt.Printf("%s: schema v%d, rev %s, %d records, all ok\n",
-		path, rep.SchemaVersion, rep.Rev, len(rep.Records))
+	serviceErrors := 0
+	for i, s := range rep.Service {
+		if s.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "service pass %d (%s): %d of %d requests errored\n",
+				i, s.Pass, s.Errors, s.Requests)
+			serviceErrors += s.Errors
+		}
+	}
+	if serviceErrors > 0 {
+		return fmt.Errorf("%d service requests failed", serviceErrors)
+	}
+	fmt.Printf("%s: schema v%d, rev %s, %d records, %d service passes, all ok\n",
+		path, rep.SchemaVersion, rep.Rev, len(rep.Records), len(rep.Service))
 	return nil
 }
 

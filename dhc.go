@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dhc/internal/congest"
 	"dhc/internal/core"
@@ -393,10 +394,20 @@ func SolveContext(ctx context.Context, g *Graph, algo Algorithm, opts Options) (
 // (graph, seed) is byte-identical to a fresh Solve call with the same
 // inputs, in any order, after any number of prior trials, and after
 // cancelled or failed trials (pinned by TestSolverReuseMatchesFreshSolve).
-// A Solver is not safe for concurrent use; run one per goroutine.
+//
+// A Solver is not safe for concurrent use; run one per goroutine (or check
+// sessions in and out of a pool). The contract is enforced: a Solve call that
+// overlaps another on the same session fails fast with ErrSolverInUse instead
+// of racing on the shared engine arena. The guard serializes nothing — the
+// overlapping call returns immediately; the caller owns the retry policy.
 type Solver struct {
 	algo Algorithm
 	opts Options
+
+	// inUse flags an in-flight trial: SolveSeeded owns the session between a
+	// successful CompareAndSwap and its deferred release. It detects misuse
+	// (concurrent calls corrupt the reused arena) rather than queueing it.
+	inUse atomic.Bool
 
 	draSess  *dra.Session
 	dhc1Sess *core.DHC1Session
@@ -404,6 +415,11 @@ type Solver struct {
 	upSess   *upcast.Session
 	stepSess *stepsim.Session
 }
+
+// ErrSolverInUse is returned by Solver.Solve/SolveSeeded when the session
+// already has a trial in flight on another goroutine. It classifies as
+// FailureError: the overlap is a usage bug, not evidence about the instance.
+var ErrSolverInUse = errors.New("dhc: solver in concurrent use")
 
 // NewSolver validates the configuration up front — unknown algorithm or
 // engine, negative BroadcastBound or MaxRounds — and returns a reusable
@@ -448,6 +464,10 @@ func (s *Solver) Solve(ctx context.Context, g *Graph) (*Result, error) {
 // SolveSeeded runs one trial on g with an explicit seed, the entry point for
 // Monte Carlo harnesses that vary the seed per trial over one session.
 func (s *Solver) SolveSeeded(ctx context.Context, g *Graph, seed uint64) (*Result, error) {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return nil, ErrSolverInUse
+	}
+	defer s.inUse.Store(false)
 	if s.opts.Engine == EngineStep {
 		return s.solveStep(ctx, g, seed)
 	}

@@ -147,8 +147,12 @@ type CellStats struct {
 	// SuccessRate is Successes/Trials, the Monte Carlo estimate of the
 	// paper's "w.h.p." success probability at this grid point.
 	SuccessRate float64 `json:"success_rate"`
-	// FirstError samples one failure message (the lowest failed trial), so
-	// a report documents *why* a cell failed without storing every error.
+	// FirstError samples one failure message, so a report documents *why* a
+	// cell failed without storing every error. Classes are sampled in
+	// severity order — a configuration error always wins the slot, then
+	// round-limit, canceled, and plain no-cycle messages (first trial in
+	// trial order within a class) — so a routine no_hc sentinel string can
+	// never mask the config error a fail_error cell is reported for.
 	FirstError string `json:"first_error,omitempty"`
 	// Rounds/Steps summarize the successful trials' charged costs.
 	Rounds Quantiles `json:"rounds"`
@@ -207,6 +211,44 @@ type GenRecord struct {
 	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
 }
 
+// ServiceRecord is one hcbench -client load-test pass against a running
+// hcserve instance: Requests solve requests issued over Conns concurrent
+// connections, drawn round-robin from a mix of Distinct distinct request
+// bodies. A cold pass touches each distinct request for the first time
+// (every response computed); a warm pass repeats the same mix against the
+// populated replay cache (every response replayed). The cold/warm p50 ratio
+// of a pass pair is the cache-hit speedup this section tracks.
+type ServiceRecord struct {
+	// Pass is "cold" (cache-empty) or "warm" (cache-populated).
+	Pass string `json:"pass"`
+	// Conns is the number of concurrent client connections.
+	Conns int `json:"conns"`
+	// Requests is the number of requests the pass issued; Distinct is the
+	// size of the request mix they were drawn from.
+	Requests int `json:"requests"`
+	Distinct int `json:"distinct"`
+	// Algos, Engines and Sizes record the request mix's axes (comma lists,
+	// same spellings as the pipeline flags).
+	Algos   string `json:"algos"`
+	Engines string `json:"engines"`
+	Sizes   string `json:"sizes"`
+	// WallSeconds is the whole pass's wall-clock; ReqPerSec its throughput.
+	WallSeconds float64 `json:"wall_seconds"`
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
+	// P50MS and P99MS are nearest-rank per-request latency quantiles in
+	// milliseconds, measured at the client (network + queue + solve).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Hits and Misses count the responses' X-Cache headers; a warm pass over
+	// an adequate cache should be all hits.
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Errors counts transport failures and non-outcome HTTP statuses
+	// (anything other than ok/no_hc/round_limit). -validate treats any
+	// error as fatal, like a failed Record.
+	Errors int `json:"errors,omitempty"`
+}
+
 // SweepSection is the schema-v2 Monte Carlo payload: the grid's per-cell
 // statistics plus the scaling fits across cells. MasterSeed, TrialsPerCell
 // and the solver overrides pin the sweep's determinism contract —
@@ -242,6 +284,9 @@ type Report struct {
 	// A pure addition to schema v2: absent in older reports, ignored by
 	// older readers.
 	Generators []GenRecord `json:"generators,omitempty"`
+	// Service holds hcserve load-test passes (hcbench -client). Like
+	// Generators, a pure v2 addition.
+	Service []ServiceRecord `json:"service,omitempty"`
 }
 
 // NewReport creates an empty report for the given revision label and host.
@@ -292,8 +337,8 @@ func (r *Report) Validate() error {
 	if r.Rev == "" {
 		return fmt.Errorf("bench: report missing rev")
 	}
-	if len(r.Records) == 0 && r.Sweep == nil && len(r.Generators) == 0 {
-		return fmt.Errorf("bench: report has no records, sweep section, or generator records")
+	if len(r.Records) == 0 && r.Sweep == nil && len(r.Generators) == 0 && len(r.Service) == 0 {
+		return fmt.Errorf("bench: report has no records, sweep section, generator records, or service records")
 	}
 	if r.Sweep != nil && r.SchemaVersion < 2 {
 		return fmt.Errorf("bench: sweep section requires schema version >= 2, got %d", r.SchemaVersion)
@@ -316,6 +361,29 @@ func (r *Report) Validate() error {
 		}
 		if g.WallSeconds < 0 {
 			return fmt.Errorf("bench: generator record %d has negative wall time", i)
+		}
+	}
+	for i, s := range r.Service {
+		if s.Pass != "cold" && s.Pass != "warm" {
+			return fmt.Errorf("bench: service record %d has unknown pass %q (want cold or warm)", i, s.Pass)
+		}
+		if s.Conns <= 0 {
+			return fmt.Errorf("bench: service record %d has conns = %d", i, s.Conns)
+		}
+		if s.Requests <= 0 {
+			return fmt.Errorf("bench: service record %d has requests = %d", i, s.Requests)
+		}
+		if s.Distinct <= 0 || s.Distinct > s.Requests {
+			return fmt.Errorf("bench: service record %d has distinct = %d of %d requests", i, s.Distinct, s.Requests)
+		}
+		if s.Hits+s.Misses+s.Errors != s.Requests {
+			return fmt.Errorf("bench: service record %d hits+misses+errors do not partition %d requests", i, s.Requests)
+		}
+		if s.WallSeconds < 0 {
+			return fmt.Errorf("bench: service record %d has negative wall time", i)
+		}
+		if s.P50MS < 0 || s.P99MS < s.P50MS {
+			return fmt.Errorf("bench: service record %d has incoherent latency quantiles (p50=%v p99=%v)", i, s.P50MS, s.P99MS)
 		}
 	}
 	for i, rec := range r.Records {
@@ -402,6 +470,27 @@ func (r *Report) FailedRecords() []int {
 		}
 	}
 	return out
+}
+
+// CacheSpeedup returns the replay-cache hit speedup of the first cold/warm
+// service-pass pair — cold p50 latency over warm p50 latency — and false
+// when either pass is missing, errored, or degenerate. It is the accessor
+// the service perf trajectory is read through.
+func (r *Report) CacheSpeedup() (float64, bool) {
+	find := func(pass string) (ServiceRecord, bool) {
+		for _, s := range r.Service {
+			if s.Pass == pass && s.Errors == 0 {
+				return s, true
+			}
+		}
+		return ServiceRecord{}, false
+	}
+	cold, ok1 := find("cold")
+	warm, ok2 := find("warm")
+	if !ok1 || !ok2 || warm.P50MS <= 0 {
+		return 0, false
+	}
+	return cold.P50MS / warm.P50MS, true
 }
 
 // Speedup returns wall-clock ratio base/test between the first records

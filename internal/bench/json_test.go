@@ -60,7 +60,7 @@ func TestReportValidationRejects(t *testing.T) {
 	}{
 		{"bad-version", func(r *Report) { r.SchemaVersion = 99 }, "schema version"},
 		{"no-rev", func(r *Report) { r.Rev = "" }, "missing rev"},
-		{"no-records", func(r *Report) { r.Records = nil }, "no records, sweep section, or generator records"},
+		{"no-records", func(r *Report) { r.Records = nil }, "no records, sweep section, generator records, or service records"},
 		{"bad-engine", func(r *Report) { r.Records[0].Engine = "warp" }, "unknown engine"},
 		{"bad-n", func(r *Report) { r.Records[0].N = 0 }, "has n"},
 		{"ok-with-error", func(r *Report) { r.Records[0].Error = "boom" }, "carries error"},
@@ -76,6 +76,64 @@ func TestReportValidationRejects(t *testing.T) {
 				t.Fatalf("got %v, want error containing %q", err, tc.substr)
 			}
 		})
+	}
+}
+
+// sampleService builds a valid cold/warm service-pass pair.
+func sampleService() []ServiceRecord {
+	return []ServiceRecord{
+		{Pass: "cold", Conns: 4, Requests: 16, Distinct: 16, Algos: "dhc2", Engines: "step", Sizes: "256",
+			WallSeconds: 1.0, ReqPerSec: 16, P50MS: 50, P99MS: 80, Misses: 16},
+		{Pass: "warm", Conns: 4, Requests: 64, Distinct: 16, Algos: "dhc2", Engines: "step", Sizes: "256",
+			WallSeconds: 0.1, ReqPerSec: 640, P50MS: 0.5, P99MS: 2, Hits: 64},
+	}
+}
+
+func TestServiceRecordValidation(t *testing.T) {
+	r := sampleReport()
+	r.Records = nil
+	r.Service = sampleService()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("service-only report rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		substr string
+	}{
+		{"bad-pass", func(r *Report) { r.Service[0].Pass = "tepid" }, "unknown pass"},
+		{"no-conns", func(r *Report) { r.Service[0].Conns = 0 }, "has conns"},
+		{"distinct-over-requests", func(r *Report) { r.Service[0].Distinct = 99 }, "distinct"},
+		{"bad-partition", func(r *Report) { r.Service[0].Hits = 3 }, "partition"},
+		{"p99-below-p50", func(r *Report) { r.Service[0].P99MS = 1 }, "latency quantiles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sampleReport()
+			r.Service = sampleService()
+			tc.mutate(r)
+			if err := r.Validate(); err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+func TestCacheSpeedup(t *testing.T) {
+	r := sampleReport()
+	r.Service = sampleService()
+	s, ok := r.CacheSpeedup()
+	if !ok || s != 100 {
+		t.Fatalf("CacheSpeedup = %v ok=%v, want 100x", s, ok)
+	}
+	r.Service[1].Errors = 1
+	r.Service[1].Hits-- // keep the partition intact
+	if _, ok := r.CacheSpeedup(); ok {
+		t.Fatal("CacheSpeedup accepted an errored warm pass")
+	}
+	r.Service = r.Service[:1]
+	if _, ok := r.CacheSpeedup(); ok {
+		t.Fatal("CacheSpeedup without a warm pass")
 	}
 }
 

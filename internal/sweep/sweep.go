@@ -462,18 +462,48 @@ func runCell(ctx context.Context, grid *Grid, cell Cell, master *rng.Source, opt
 		poolSize = 1
 	}
 	solvers := make([]*dhc.Solver, poolSize)
+	ctorErrs := make([]error, poolSize)
 	instStream := master.Split(fnv1a(cell.InstanceKey()))
 	outs := make([]trialOutcome, trials)
 	arena.RunPool(opts.Workers, trials, func(worker, trial int) {
-		if solvers[worker] == nil {
-			// A constructor error (impossible for a validated grid) leaves
-			// the slot nil; runTrial then falls back to one-shot SolveContext
-			// and reports the same error as a trial outcome.
-			solvers[worker], _ = dhc.NewSolver(cell.Algo, solverOpts)
+		if solvers[worker] == nil && ctorErrs[worker] == nil {
+			solvers[worker], ctorErrs[worker] = newSolver(cell.Algo, solverOpts)
+		}
+		if err := ctorErrs[worker]; err != nil {
+			// A constructor failure is a configuration verdict for the whole
+			// cell: record it as the trial's fail_error outcome with the real
+			// message. (Every worker constructs from identical arguments, so
+			// the outcome is worker-count independent.)
+			outs[trial] = trialOutcome{class: dhc.FailureError, err: err}
+			return
 		}
 		outs[trial] = runTrial(cellCtx, grid, cell, solvers[worker], instStream.Split(uint64(trial)+1))
 	})
+	return foldOutcomes(cell, trials, outs)
+}
 
+// newSolver is the solver constructor runCell uses — a seam so the
+// constructor-failure contract (fail_error with the real message, never a
+// nil-pointer panic) stays testable even while every validated grid produces
+// constructible options.
+var newSolver = dhc.NewSolver
+
+// firstErrorPriority orders the failure classes FirstError samples from:
+// a configuration error always wins the slot — it is the message
+// `hcsweep -validate` prints for fail_error cells, and a routine no_hc
+// sentinel string arriving first must not mask it — then the budget verdicts,
+// then ordinary negatives. Within a class the first trial in trial order
+// wins, keeping the field worker-count independent.
+var firstErrorPriority = []dhc.FailureClass{
+	dhc.FailureError,
+	dhc.FailureRoundLimit,
+	dhc.FailureCanceled,
+	dhc.FailureNoHC,
+}
+
+// foldOutcomes aggregates a cell's trial outcomes in trial order into its
+// report row.
+func foldOutcomes(cell Cell, trials int, outs []trialOutcome) bench.CellStats {
 	stats := bench.CellStats{
 		Family: cell.Family.String(),
 		N:      cell.N,
@@ -504,8 +534,16 @@ func runCell(ctx context.Context, grid *Grid, cell Cell, master *rng.Source, opt
 		default:
 			stats.FailError++
 		}
-		if out.err != nil && stats.FirstError == "" {
-			stats.FirstError = out.err.Error()
+	}
+	for _, class := range firstErrorPriority {
+		if stats.FirstError != "" {
+			break
+		}
+		for _, out := range outs {
+			if out.class == class && out.err != nil {
+				stats.FirstError = out.err.Error()
+				break
+			}
 		}
 	}
 	stats.SuccessRate = float64(stats.Successes) / float64(trials)

@@ -413,3 +413,60 @@ func TestFailureCanceledString(t *testing.T) {
 		t.Fatalf("Classify(context.DeadlineExceeded) = %v, want %v", got, FailureCanceled)
 	}
 }
+
+// TestSolverConcurrentUseGuard pins the session concurrency contract: a Solve
+// call that overlaps an in-flight trial on the same Solver must fail fast
+// with ErrSolverInUse (classified FailureError — a usage bug, not instance
+// evidence) instead of racing on the shared arena, and the session must stay
+// fully usable afterwards. The overlap is forced deterministically: the first
+// trial parks inside its Observer.OnPhase callback (which runs on the solving
+// goroutine with the guard held) while the second call is issued.
+func TestSolverConcurrentUseGuard(t *testing.T) {
+	g := NewGNP(128, ThresholdP(128, 3, 0.5), 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once atomic.Bool
+	solver, err := NewSolver(AlgorithmDRA, Options{
+		Engine: EngineStep,
+		Observer: &Observer{OnPhase: func(string) {
+			if once.CompareAndSwap(false, true) {
+				close(entered)
+				<-release
+			}
+		}},
+	})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := solver.SolveSeeded(context.Background(), g, 7)
+		done <- err
+	}()
+	<-entered
+
+	if _, err := solver.SolveSeeded(context.Background(), g, 8); !errors.Is(err, ErrSolverInUse) {
+		t.Fatalf("overlapping Solve error = %v, want ErrSolverInUse", err)
+	}
+	if got := Classify(ErrSolverInUse); got != FailureError {
+		t.Fatalf("Classify(ErrSolverInUse) = %v, want FailureError", got)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first trial failed: %v", err)
+	}
+
+	// The guard must release on every exit path: the session still solves,
+	// byte-identical to a fresh run.
+	res, err := solver.SolveSeeded(context.Background(), g, 8)
+	if err != nil {
+		t.Fatalf("post-overlap trial failed: %v", err)
+	}
+	fresh, err := Solve(g, AlgorithmDRA, Options{Engine: EngineStep, Seed: 8})
+	if err != nil {
+		t.Fatalf("fresh solve failed: %v", err)
+	}
+	assertSameResult(t, "post-overlap reuse", fresh, res)
+}
