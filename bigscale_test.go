@@ -11,13 +11,15 @@ package dhc
 // ./...` stays fast even in an environment that exports DHC_BIG globally,
 // and a plain `go test ./...` skips the big runs unless explicitly opted in.
 //
-// A note on density regimes: at n = 10^6 the paper's δ = 0.5 graph
-// G(n, c·ln n/√n) has Θ(c·ln n·n^1.5) ≈ 10^10 edges — about 100 GB of CSR
-// arena — so no explicit-graph engine can materialize it. The demonstration
-// therefore runs at the connectivity-threshold density (δ = 1, c = 32,
-// m ≈ 2.2·10^8 edges) with the partition count K = 8 fixed explicitly,
-// which exercises exactly the same sharded phase 1 + pairwise-merge phase 2
-// machinery that the δ = 0.5 analysis is about.
+// Density regimes: the full story (why the big runs use δ = 1 instead of
+// the paper's δ = 0.5 analysis density, and why the partition count K must
+// be chosen jointly with c so every partition clears its own Hamiltonicity
+// threshold) lives in README.md under "Scaling: the ten-million-vertex
+// runbook". Short version: at n = 10^6 the δ = 0.5 graph would have ~10^10
+// edges (~100 GB of CSR arena), so the demonstrations run at the
+// connectivity-threshold density (δ = 1, c = 32, m ≈ 2.2·10^8 edges here)
+// with K = 8 fixed explicitly — the same sharded phase 1 + pairwise-merge
+// phase 2 machinery the δ = 0.5 analysis is about.
 
 import (
 	"os"

@@ -51,6 +51,7 @@ func run() error {
 		workers = flag.Int("workers", 1, "worker pool size for the experiment tables (identical results at any value)")
 
 		jsonOut    = flag.String("json", "", "benchmark pipeline: write a versioned JSON report to this path and exit")
+		scaling    = flag.String("scaling", "", "scaling pipeline: run the -workerGrid curve over one shared instance per size with heap high-water metering, verify counter identity across worker counts, and write the JSON report to this path")
 		validate   = flag.String("validate", "", "validate an existing JSON report (schema + no failed runs) and exit")
 		rev        = flag.String("rev", "dev", "revision label embedded in the JSON report")
 		algos      = flag.String("algos", "dhc2", "pipeline: comma-separated algorithms (dra,dhc1,dhc2,upcast)")
@@ -119,6 +120,18 @@ func run() error {
 			conns: *clientConns, requests: *clientReqs, seeds: *clientSeeds,
 			grid: grid, colors: *colors, delta: *delta, cmult: *cmult,
 			timeoutMS: *clientSolveT, out: *jsonOut, rev: *rev,
+		})
+	}
+	if *scaling != "" {
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runScaling(ctx, scalingParams{
+			out: *scaling, rev: *rev, grid: grid,
+			seed: *seed, colors: *colors, delta: *delta, cmult: *cmult,
 		})
 	}
 	if *jsonOut != "" {

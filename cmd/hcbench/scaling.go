@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dhc"
+	"dhc/internal/bench"
+	"dhc/internal/peakmem"
+)
+
+// scalingParams is the -scaling pipeline's configuration: the same grid axes
+// as -json, but one shared instance per size, memory metering around both
+// construction and every solve, and a hard counter-identity check across the
+// worker grid.
+type scalingParams struct {
+	out, rev     string
+	grid         benchGrid
+	seed         uint64
+	colors       int
+	delta, cmult float64
+}
+
+// runScaling measures the multi-core scaling curve: for each size it builds
+// one G(n,p) instance (metering the streaming construction's heap high-water
+// against the finished CSR footprint), then solves the same instance once per
+// worker count with a PeakSampler running. Every row is a Scaling record
+// carrying mem_peak_bytes / bytes_per_vertex / construction_peak_bytes /
+// graph_bytes. Counters must be byte-identical across the whole worker grid —
+// any divergence aborts the run before a report is written, making this mode
+// double as the determinism smoke test CI runs on every push.
+func runScaling(ctx context.Context, p scalingParams) error {
+	rep := bench.NewReport(p.rev, runtime.Version(), runtime.NumCPU())
+	for _, n := range p.grid.sizes {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scaling grid canceled; %s not written: %w", p.out, err)
+		}
+		pr := dhc.ThresholdP(n, p.cmult, p.delta)
+		graphSeed := p.seed + uint64(n)
+		runtime.GC()
+		ps := peakmem.Start(0)
+		start := time.Now()
+		g := dhc.NewGNP(n, pr, graphSeed)
+		buildWall := time.Since(start).Seconds()
+		constructionPeak := ps.Stop()
+		graphBytes := g.MemBytes()
+		fmt.Printf("construct n=%d: m=%d wall=%.3fs graph=%.1fMB peak=%.1fMB (%.2fx of graph)\n",
+			n, g.M(), buildWall, mb(graphBytes), mb(constructionPeak),
+			float64(constructionPeak)/float64(graphBytes))
+		for _, algo := range p.grid.algos {
+			for _, engine := range p.grid.engines {
+				var base *bench.Record
+				for _, workers := range p.grid.workerGrid {
+					if err := ctx.Err(); err != nil {
+						return fmt.Errorf("scaling grid canceled; %s not written: %w", p.out, err)
+					}
+					rec := bench.Record{
+						Algo:                  algo.String(),
+						Engine:                engine.Name(),
+						N:                     n,
+						M:                     int64(g.M()),
+						P:                     pr,
+						Seed:                  p.seed,
+						GraphSeed:             graphSeed,
+						NumColors:             p.colors,
+						Workers:               workers,
+						Scaling:               true,
+						ConstructionPeakBytes: constructionPeak,
+						GraphBytes:            graphBytes,
+					}
+					runtime.GC()
+					ps := peakmem.Start(0)
+					start := time.Now()
+					res, err := dhc.SolveContext(ctx, g, algo, dhc.Options{
+						Seed:       rec.Seed,
+						Engine:     engine.Engine,
+						NumColors:  p.colors,
+						Delta:      p.delta,
+						Workers:    workers,
+						DenseSweep: engine.Dense,
+					})
+					rec.WallSeconds = time.Since(start).Seconds()
+					rec.MemPeakBytes = ps.Stop()
+					solverBytes := rec.MemPeakBytes - graphBytes
+					if solverBytes < 0 {
+						solverBytes = 0
+					}
+					rec.BytesPerVertex = float64(solverBytes) / float64(n)
+					if err != nil {
+						rec.Error = err.Error()
+					} else {
+						rec.OK = true
+						rec.Rounds = res.Rounds
+						rec.Steps = res.Steps
+						rec.Phase1Rounds = res.Phase1Rounds
+						rec.Phase2Rounds = res.Phase2Rounds
+						if res.Counters != nil {
+							rec.Messages = res.Counters.Messages
+							rec.Bits = res.Counters.Bits
+							rec.RoundsSkipped = res.Counters.RoundsSkipped
+						}
+					}
+					rep.Append(rec)
+					status := "ok=true"
+					if !rec.OK {
+						status = "ok=false err=" + rec.Error
+					}
+					fmt.Printf("%s/%s n=%d workers=%d: wall=%.3fs peak=%.1fMB (%.0f solver B/vertex) %s\n",
+						rec.Algo, rec.Engine, n, workers, rec.WallSeconds,
+						mb(rec.MemPeakBytes), rec.BytesPerVertex, status)
+					if rec.OK {
+						if base == nil {
+							cp := rec
+							base = &cp
+						} else if rec.Rounds != base.Rounds || rec.Steps != base.Steps ||
+							rec.Phase1Rounds != base.Phase1Rounds || rec.Phase2Rounds != base.Phase2Rounds ||
+							rec.Messages != base.Messages || rec.Bits != base.Bits {
+							return fmt.Errorf("determinism violation: %s/%s n=%d workers=%d counters "+
+								"(rounds=%d steps=%d p1=%d p2=%d) diverge from workers=%d "+
+								"(rounds=%d steps=%d p1=%d p2=%d); %s not written",
+								rec.Algo, rec.Engine, n, workers,
+								rec.Rounds, rec.Steps, rec.Phase1Rounds, rec.Phase2Rounds,
+								base.Workers, base.Rounds, base.Steps, base.Phase1Rounds, base.Phase2Rounds,
+								p.out)
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Create(p.out)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	printSpeedups(rep, p.grid)
+	fmt.Printf("wrote %s (%d scaling records, schema v%d, host %d-cpu)\n",
+		p.out, len(rep.Records), rep.SchemaVersion, rep.NumCPU)
+	return nil
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -63,6 +63,9 @@ func run() error {
 		if *m <= 0 {
 			return fmt.Errorf("gnm needs -m > 0")
 		}
+		if err := graph.ValidateEdgeCount(*n, int64(*m)); err != nil {
+			return err
+		}
 		g = dhc.NewGNM(*n, *m, *seed)
 	case "regular":
 		var err error

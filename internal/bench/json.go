@@ -84,6 +84,28 @@ type Record struct {
 	// RoundsSkipped is the quiet-round subset of Rounds the event-driven
 	// engine charged without executing (zero for exact-dense and step).
 	RoundsSkipped int64 `json:"rounds_skipped,omitempty"`
+	// Scaling marks rows produced by the hcbench -scaling mode: a workers
+	// curve measured over one shared instance with heap high-water metering.
+	// Successful scaling rows must carry MemPeakBytes (Validate enforces it)
+	// so a scaling report can never silently lose its memory story. A pure
+	// schema-v2 addition, like the three fields after it.
+	Scaling bool `json:"scaling,omitempty"`
+	// MemPeakBytes is the sampled heap high-water (runtime.ReadMemStats
+	// HeapAlloc, see PeakSampler) over the Solve call, including the pinned
+	// input graph.
+	MemPeakBytes int64 `json:"mem_peak_bytes,omitempty"`
+	// BytesPerVertex is the solver's working set per vertex above the pinned
+	// graph: (MemPeakBytes - GraphBytes) / N. This is the packed-node-state
+	// trajectory metric — it moves when per-vertex solver state is repacked,
+	// and stays put when only the graph grows denser.
+	BytesPerVertex float64 `json:"bytes_per_vertex,omitempty"`
+	// ConstructionPeakBytes is the heap high-water over the instance's graph
+	// construction, repeated on each of the instance's scaling rows. The
+	// streaming-construction contract is ConstructionPeakBytes <= ~2x
+	// GraphBytes plus a fixed per-vertex overhead.
+	ConstructionPeakBytes int64 `json:"construction_peak_bytes,omitempty"`
+	// GraphBytes is the built CSR's resident footprint (arena + offsets).
+	GraphBytes int64 `json:"graph_bytes,omitempty"`
 	// OK is false when the run errored; Error then holds the message.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -416,6 +438,12 @@ func (r *Report) Validate() error {
 		}
 		if !rec.OK && rec.Error == "" {
 			return fmt.Errorf("bench: record %d failed without an error message", i)
+		}
+		if rec.Scaling && rec.OK && rec.MemPeakBytes <= 0 {
+			return fmt.Errorf("bench: record %d is a scaling row without mem_peak_bytes", i)
+		}
+		if rec.MemPeakBytes < 0 || rec.ConstructionPeakBytes < 0 || rec.GraphBytes < 0 {
+			return fmt.Errorf("bench: record %d has a negative memory field", i)
 		}
 	}
 	return nil

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateScalingRows pins the -scaling report contract: a successful
+// scaling row without mem_peak_bytes is rejected, and negative memory fields
+// never pass.
+func TestValidateScalingRows(t *testing.T) {
+	mk := func(mut func(*Record)) *Report {
+		rep := NewReport("test", "go", 1)
+		rec := Record{
+			Algo: "dhc2", Engine: "step", N: 1000, Workers: 1,
+			OK: true, Rounds: 10,
+			Scaling: true, MemPeakBytes: 1 << 20,
+			BytesPerVertex: 12, ConstructionPeakBytes: 1 << 19, GraphBytes: 1 << 18,
+		}
+		mut(&rec)
+		rep.Append(rec)
+		return rep
+	}
+	if err := mk(func(r *Record) {}).Validate(); err != nil {
+		t.Fatalf("well-formed scaling row rejected: %v", err)
+	}
+	err := mk(func(r *Record) { r.MemPeakBytes = 0 }).Validate()
+	if err == nil || !strings.Contains(err.Error(), "mem_peak_bytes") {
+		t.Fatalf("scaling row without mem_peak_bytes passed validation (err=%v)", err)
+	}
+	// A failed scaling row may legitimately lack the metric (the sampler
+	// result is still recorded in practice, but absence must not mask the
+	// failure itself).
+	failed := mk(func(r *Record) { r.OK = false; r.Error = "boom"; r.Rounds = 0; r.MemPeakBytes = 0 })
+	if err := failed.Validate(); err != nil {
+		t.Fatalf("failed scaling row rejected for missing metric: %v", err)
+	}
+	if err := mk(func(r *Record) { r.GraphBytes = -1 }).Validate(); err == nil {
+		t.Fatal("negative graph_bytes passed validation")
+	}
+	if err := mk(func(r *Record) { r.ConstructionPeakBytes = -5 }).Validate(); err == nil {
+		t.Fatal("negative construction_peak_bytes passed validation")
+	}
+}

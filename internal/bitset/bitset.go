@@ -1,0 +1,29 @@
+// Package bitset provides a dense fixed-capacity bit vector for packing
+// per-node boolean state into cache-friendly words: one bit per vertex
+// instead of the byte a []bool spends, an 8x cut in footprint and memory
+// traffic for the visited/halted/seen flags the engines keep at 10^6–10^7
+// vertices.
+package bitset
+
+// Set is a fixed-capacity bit vector over indices [0, 64·len(s)). Create
+// with Make; index bounds are the caller's contract, exactly as with []bool.
+type Set []uint64
+
+// Make returns a Set able to hold bits [0, n).
+func Make(n int) Set { return make(Set, (n+63)>>6) }
+
+// Has reports whether bit i is set.
+func (s Set) Has(i int) bool { return s[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// Add sets bit i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove clears bit i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Reset clears every bit, keeping the capacity.
+func (s Set) Reset() {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,78 @@
+package bitset
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	s := Make(130) // crosses two word boundaries
+	if len(s) != 3 {
+		t.Fatalf("Make(130) allocated %d words, want 3", len(s))
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("bit %d missing after Add", i)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("bit 64 still set after Remove")
+	}
+	if !s.Has(63) || !s.Has(65) {
+		t.Fatal("Remove(64) disturbed neighboring bits")
+	}
+	s.Reset()
+	for _, w := range s {
+		if w != 0 {
+			t.Fatal("Reset left bits set")
+		}
+	}
+}
+
+func TestMakeRounding(t *testing.T) {
+	cases := []struct{ n, words int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := len(Make(c.n)); got != c.words {
+			t.Fatalf("Make(%d) = %d words, want %d", c.n, got, c.words)
+		}
+	}
+}
+
+// TestAgainstBoolReference exercises a random operation mix against a []bool
+// model.
+func TestAgainstBoolReference(t *testing.T) {
+	const n = 300
+	s := Make(n)
+	ref := make([]bool, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for step := 0; step < 20000; step++ {
+		i := int(next() % n)
+		switch next() % 3 {
+		case 0:
+			s.Add(i)
+			ref[i] = true
+		case 1:
+			s.Remove(i)
+			ref[i] = false
+		case 2:
+			if s.Has(i) != ref[i] {
+				t.Fatalf("step %d: Has(%d) = %v, model says %v", step, i, s.Has(i), ref[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.Has(i) != ref[i] {
+			t.Fatalf("final: Has(%d) = %v, model says %v", i, s.Has(i), ref[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dhc/internal/bitset"
 	"dhc/internal/graph"
 )
 
@@ -117,15 +118,15 @@ func (c *Cycle) Verify(g *graph.Graph) error {
 	if n < 3 {
 		return fmt.Errorf("%w: Hamiltonian cycle needs n >= 3", ErrNotSpanning)
 	}
-	seen := make([]bool, n)
+	seen := bitset.Make(n)
 	for _, v := range c.order {
 		if int(v) < 0 || int(v) >= n {
 			return fmt.Errorf("%w: vertex %d out of range", ErrNotSpanning, v)
 		}
-		if seen[v] {
+		if seen.Has(int(v)) {
 			return fmt.Errorf("%w: vertex %d visited twice", ErrNotSpanning, v)
 		}
-		seen[v] = true
+		seen.Add(int(v))
 	}
 	for i, v := range c.order {
 		w := c.order[(i+1)%n]

@@ -130,7 +130,11 @@ func Geometric(n int, radius float64, src *rng.Source) *Graph {
 	}
 	r2 := radius * radius
 	expected := math.Pi * r2 * float64(n) / 2 * float64(n)
-	hint := int(math.Min(expected, float64(n)*float64(n-1)/2))
+	hintF := math.Min(expected, float64(n)*float64(n-1)/2)
+	hint := n * 8
+	if hintF < float64(hint) {
+		hint = int(hintF)
+	}
 	b := NewBuilderCSR(n, hint)
 	for i := 0; i < n; i++ {
 		ci, cj := cellOf(xs[i]), cellOf(ys[i])
@@ -186,9 +190,16 @@ func SBM(n, k int, pIn, pOut float64, src *rng.Source) *Graph {
 	pIn = clampProb(pIn)
 	pOut = clampProb(pOut)
 	start := func(i int) int { return i * n / k }
-	hint := int(pIn*float64(n)*float64(n)/float64(k)/2 +
-		pOut*float64(n)*float64(n)/2)
-	b := NewBuilderCSR(n, min(hint, n*8))
+	// Estimate the edge count in float and clamp before converting: at
+	// n >= 10^7 the raw pair-count products overflow 32-bit ints, and a
+	// float-to-int conversion out of range is undefined.
+	hintF := pIn*float64(n)*float64(n)/float64(k)/2 +
+		pOut*float64(n)*float64(n)/2
+	hint := n * 8
+	if hintF < float64(hint) {
+		hint = int(hintF)
+	}
+	b := NewBuilderCSR(n, hint)
 	for a := 0; a < k; a++ {
 		base, size := start(a), start(a+1)-start(a)
 		iterateGNP(size, pIn, src, func(v, w NodeID) {
@@ -206,22 +217,24 @@ func SBM(n, k int, pIn, pOut float64, src *rng.Source) *Graph {
 
 // iterateBipartite enumerates the edges of a random bipartite Bernoulli(p)
 // block with na left and nb right vertices by geometric skipping over the
-// row-major pair index, in expected O(1 + p·na·nb) time.
+// row-major pair index, in expected O(1 + p·na·nb) time. The pair index runs
+// in int64: na·nb exceeds 32 bits well before the block sizes that 10^7-vertex
+// SBM grids produce, and wrapping it would silently truncate the block.
 func iterateBipartite(na, nb int, p float64, src *rng.Source, visit func(i, j int)) {
 	if na <= 0 || nb <= 0 || p <= 0 {
 		return
 	}
-	total := na * nb
+	total := int64(na) * int64(nb)
 	if p >= 1 {
-		for t := 0; t < total; t++ {
-			visit(t/nb, t%nb)
+		for t := int64(0); t < total; t++ {
+			visit(int(t/int64(nb)), int(t%int64(nb)))
 		}
 		return
 	}
-	t := src.Geometric(p)
+	t := int64(src.Geometric(p))
 	for t < total {
-		visit(t/nb, t%nb)
-		t += 1 + src.Geometric(p)
+		visit(int(t/int64(nb)), int(t%int64(nb)))
+		t += 1 + int64(src.Geometric(p))
 	}
 }
 

@@ -35,9 +35,15 @@ func iterateGNP(n int, p float64, src *rng.Source, visit func(v, w NodeID)) {
 // GNP samples an Erdős–Rényi G(n, p) random graph: every unordered pair is an
 // edge independently with probability p. It builds the CSR arrays directly in
 // two generator passes over the same RNG state (count degrees, rewind, fill
-// rows), so peak memory is the final graph plus O(n) — no edge list and no
-// hash set ever exist.
+// rows), so peak memory is the final graph plus O(n) staging — no edge list
+// and no hash set ever exist. The fill keeps the geometric-skip loop inline
+// (no per-edge callback) and routes the random-access half of the writes
+// through the chunked counting-sort scatter.
 func GNP(n int, p float64, src *rng.Source) *Graph {
+	return gnpTuned(n, p, src, scatterTuning{})
+}
+
+func gnpTuned(n int, p float64, src *rng.Source, tune scatterTuning) *Graph {
 	if p <= 0 || n < 2 {
 		return newCSR(max(n, 0), nil)
 	}
@@ -46,88 +52,114 @@ func GNP(n int, p float64, src *rng.Source) *Graph {
 	}
 	saved := *src // snapshot for the second, identical pass
 	off := make([]int32, n+1)
+	fwd := make([]int32, n) // per-row count of smaller neighbors (v-side visits)
 	var m int
-	iterateGNP(n, p, src, func(v, w NodeID) {
-		off[v+1]++
-		off[w+1]++
-		m++
-	})
-	guardHalfEdges(2 * m)
+	{
+		v, w := 1, -1
+		for v < n {
+			w += 1 + src.Geometric(p)
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				off[v+1]++
+				off[w+1]++
+				fwd[v]++
+				m++
+			}
+		}
+	}
+	guardHalfEdges(2 * int64(m))
 	for i := 0; i < n; i++ {
 		off[i+1] += off[i]
 	}
 	arena := make([]NodeID, 2*m)
-	cur := make([]int32, n)
-	copy(cur, off[:n])
+	// Row x's smaller neighbors stream in while v == x (sequential writes at
+	// curF); its larger neighbors arrive as the w side of later rows (random
+	// writes at curB, batched by the scatter). Same final layout as the old
+	// single-cursor fill: [smaller ascending][larger ascending].
+	curF := fwd // reuse: consumed left to right as the cursor initializer
+	curB := make([]int32, n)
+	for x := 0; x < n; x++ {
+		f := off[x]
+		curB[x] = f + fwd[x]
+		curF[x] = f
+	}
+	sc := newDeferredScatter(arena, curB, n, tune)
 	*src = saved
-	iterateGNP(n, p, src, func(v, w NodeID) {
-		arena[cur[v]] = w
-		cur[v]++
-		arena[cur[w]] = v
-		cur[w]++
-	})
+	{
+		v, w := 1, -1
+		for v < n {
+			w += 1 + src.Geometric(p)
+			for w >= v && v < n {
+				w -= v
+				v++
+			}
+			if v < n {
+				arena[curF[v]] = NodeID(w)
+				curF[v]++
+				sc.add(NodeID(w), NodeID(v))
+			}
+		}
+	}
+	sc.finish()
 	return &Graph{n: n, m: m, off: off, arena: arena}
 }
 
-// sampleDistinctEdges draws uniformly random vertex pairs (rejecting
-// self-loops) until exactly m distinct canonical edges have been collected,
+// samplePackedPairs draws uniformly random vertex pairs (rejecting
+// self-loops) until exactly m distinct canonical pairs have been collected,
 // deduplicating by sort between batches rather than with a hash set. The
 // returned slice is sorted. The resulting edge set is uniform over m-subsets,
-// like plain rejection sampling.
-func sampleDistinctEdges(n, m int, src *rng.Source) []Edge {
-	edges := make([]Edge, 0, m)
+// like plain rejection sampling, and the RNG is consumed in exactly the order
+// of the historical []Edge sampler.
+func samplePackedPairs(n, m int, src *rng.Source) []uint64 {
+	pairs := make([]uint64, 0, m)
 	for {
-		for need := m - len(edges); need > 0; need-- {
+		for need := m - len(pairs); need > 0; need-- {
 			u := NodeID(src.Intn(n))
 			v := NodeID(src.Intn(n))
 			for u == v {
 				u = NodeID(src.Intn(n))
 				v = NodeID(src.Intn(n))
 			}
-			edges = append(edges, Edge{U: u, V: v}.Canonical())
+			pairs = append(pairs, packPair(u, v))
 		}
-		edges = sortDedupEdges(edges)
-		if len(edges) == m {
-			return edges
+		pairs = sortDedupPacked(pairs)
+		if len(pairs) == m {
+			return pairs
 		}
 	}
 }
 
 // GNM samples a uniform graph with exactly m distinct edges among n vertices
-// (the G(n, M) model). It panics if m exceeds the number of possible edges.
+// (the G(n, M) model). It panics if m exceeds the number of possible edges or
+// the CSR half-edge range; use sweep/CLI-level validation (MaxEdges) to turn
+// infeasible parameters into config errors before reaching this point.
 func GNM(n, m int, src *rng.Source) *Graph {
-	maxM := n * (n - 1) / 2
-	if m > maxM {
+	maxM := MaxEdges(n)
+	if int64(m) > maxM {
 		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d for n=%d", m, maxM, n))
 	}
 	if m <= 0 {
 		return newCSR(n, nil)
 	}
+	guardHalfEdges(2 * int64(m))
 	// Rejection sampling is fast while m << maxM; above half the density,
 	// sample the complement instead.
-	if m <= maxM/2 {
-		return newCSR(n, sampleDistinctEdges(n, m, src))
+	if int64(m) <= maxM/2 {
+		return csrFromPackedPairs(n, samplePackedPairs(n, m, src))
 	}
-	// Dense regime: pick the maxM-m excluded edges, then stream the
-	// complement (both lists are in sorted canonical order, so one pointer
-	// walk suffices and rows again arrive pre-sorted).
-	var excluded []Edge
-	if maxM-m > 0 {
-		excluded = sampleDistinctEdges(n, maxM-m, src)
+	// Dense regime: pick the maxM-m excluded edges as a graph, then stream
+	// its complement row by row straight into the CSR arena.
+	excl := int(maxM - int64(m))
+	var exclG *Graph
+	if excl > 0 {
+		exclG = csrFromPackedPairs(n, samplePackedPairs(n, excl, src))
+	} else {
+		exclG = newCSR(n, nil)
 	}
-	edges := make([]Edge, 0, m)
-	idx := 0
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			e := Edge{U: NodeID(u), V: NodeID(v)}
-			if idx < len(excluded) && excluded[idx] == e {
-				idx++
-				continue
-			}
-			edges = append(edges, e)
-		}
-	}
-	return newCSR(n, edges)
+	return complement(exclG)
 }
 
 // RandomRegular samples a d-regular graph on n vertices using the
@@ -166,25 +198,37 @@ func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
 }
 
 // complement returns the loop-free complement graph: (u, v) is an edge iff
-// u != v and (u, v) is not an edge of g. Rows are sorted, so one pointer
-// walk per row streams the complement's edge list in canonical order.
+// u != v and (u, v) is not an edge of g. Each row of the complement is the
+// sorted sequence [0, n) minus the vertex itself minus g's (sorted) row, so
+// one pointer walk per row streams every row directly into the CSR arena —
+// all writes sequential, no edge list.
 func complement(g *Graph) *Graph {
 	n := g.N()
-	edges := make([]Edge, 0, n*(n-1)/2-int(g.M()))
-	for u := 0; u < n; u++ {
-		nb := g.Neighbors(NodeID(u))
+	guardHalfEdges(2 * (MaxEdges(n) - int64(g.M())))
+	off := make([]int32, n+1)
+	for x := 0; x < n; x++ {
+		off[x+1] = off[x] + int32(n-1-g.Degree(NodeID(x)))
+	}
+	arena := make([]NodeID, off[n])
+	pos := 0
+	for x := 0; x < n; x++ {
+		nb := g.Neighbors(NodeID(x))
 		i := 0
-		for v := u + 1; v < n; v++ {
-			for i < len(nb) && int(nb[i]) < v {
-				i++
-			}
-			if i < len(nb) && int(nb[i]) == v {
+		for y := 0; y < n; y++ {
+			if y == x {
 				continue
 			}
-			edges = append(edges, Edge{U: NodeID(u), V: NodeID(v)})
+			for i < len(nb) && int(nb[i]) < y {
+				i++
+			}
+			if i < len(nb) && int(nb[i]) == y {
+				continue
+			}
+			arena[pos] = NodeID(y)
+			pos++
 		}
 	}
-	return newCSR(n, edges)
+	return &Graph{n: n, m: int(off[n]) / 2, off: off, arena: arena}
 }
 
 func tryStegerWormald(n, d int, src *rng.Source) (*Graph, bool) {
@@ -272,15 +316,28 @@ func Path(n int) *Graph {
 	return b.Build()
 }
 
-// Complete returns the complete graph K_n.
+// Complete returns the complete graph K_n, streaming each row (all vertices
+// but the row's own) directly into the CSR arena.
 func Complete(n int) *Graph {
-	edges := make([]Edge, 0, n*(n-1)/2)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			edges = append(edges, Edge{U: NodeID(u), V: NodeID(v)})
+	if n < 0 {
+		n = 0
+	}
+	guardHalfEdges(2 * MaxEdges(n))
+	off := make([]int32, n+1)
+	for x := 0; x < n; x++ {
+		off[x+1] = off[x] + int32(n-1)
+	}
+	arena := make([]NodeID, off[n])
+	pos := 0
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y != x {
+				arena[pos] = NodeID(y)
+				pos++
+			}
 		}
 	}
-	return newCSR(n, edges)
+	return &Graph{n: n, m: int(MaxEdges(n)), off: off, arena: arena}
 }
 
 // Grid returns the rows x cols grid graph (no Hamiltonian cycle when both

@@ -60,8 +60,12 @@ type Graph struct {
 // without a per-row sort: row x first receives its smaller neighbors (as the
 // V side of edges with V == x, whose U ascend), then its larger neighbors (as
 // the U side of edges with U == x, whose V ascend).
+//
+// This is the reference construction: the streaming paths (csrFromPackedPairs
+// and the generator fills in generate.go) must produce byte-identical arrays,
+// and the differential tests pin them against this function.
 func newCSR(n int, edges []Edge) *Graph {
-	guardHalfEdges(2 * len(edges))
+	guardHalfEdges(2 * int64(len(edges)))
 	off := make([]int32, n+1)
 	for _, e := range edges {
 		off[e.U+1]++
@@ -83,8 +87,9 @@ func newCSR(n int, edges []Edge) *Graph {
 }
 
 // guardHalfEdges panics when a half-edge count would overflow the int32
-// offset arrays (2m must stay below 2^31).
-func guardHalfEdges(half int) {
+// offset arrays (2m must stay below 2^31). It takes int64 so callers can pass
+// pair counts that themselves exceed the int range on 32-bit platforms.
+func guardHalfEdges(half int64) {
 	if half > (1<<31)-1 {
 		panic(fmt.Sprintf("graph: %d half-edges exceed the int32 CSR offset range", half))
 	}
@@ -149,29 +154,39 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 
 // Build produces the immutable Graph. The Builder may be reused afterwards.
 func (b *Builder) Build() *Graph {
-	edges := make([]Edge, 0, len(b.edges))
+	pairs := make([]uint64, 0, len(b.edges))
 	for e := range b.edges {
-		edges = append(edges, e)
+		pairs = append(pairs, packPair(e.U, e.V))
 	}
-	return newCSR(b.n, sortDedupEdges(edges))
+	return csrFromPackedPairs(b.n, sortDedupPacked(pairs))
 }
 
-// BuilderCSR is the streaming construction path: edges append to a flat list
-// (no per-edge hash-set entries) and are sorted and deduplicated once at
-// Build. Peak memory is 8 bytes per added edge plus the final CSR arrays,
-// which is what makes 10^6-vertex random graphs constructible.
+// BuilderCSR is the streaming construction path: edges append as packed
+// 8-byte pair keys (no per-edge hash-set entries, half the footprint of an
+// []Edge) and are sorted and deduplicated once at Build. Peak memory is 8
+// bytes per added edge plus the final CSR arrays, which is what makes
+// 10^6-vertex random graphs constructible.
 type BuilderCSR struct {
 	n     int
-	edges []Edge
+	pairs []uint64
 }
 
 // NewBuilderCSR returns a streaming builder for a graph on n vertices,
-// preallocating room for capacityHint edges (0 is fine).
+// preallocating room for capacityHint edges (0 is fine). Hints are clamped to
+// the largest edge count the CSR layout can represent, so generators may pass
+// unvalidated density estimates without risking a wild allocation.
 func NewBuilderCSR(n, capacityHint int) *BuilderCSR {
 	if capacityHint < 0 {
 		capacityHint = 0
 	}
-	return &BuilderCSR{n: n, edges: make([]Edge, 0, capacityHint)}
+	limit := int64((1<<31 - 1) / 2)
+	if max := MaxEdges(n); max < limit {
+		limit = max
+	}
+	if int64(capacityHint) > limit {
+		capacityHint = int(limit)
+	}
+	return &BuilderCSR{n: n, pairs: make([]uint64, 0, capacityHint)}
 }
 
 // Add records the undirected edge (u, v). Self-loops and out-of-range
@@ -181,18 +196,18 @@ func (b *BuilderCSR) Add(u, v NodeID) bool {
 	if u == v || int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
 		return false
 	}
-	b.edges = append(b.edges, Edge{U: u, V: v}.Canonical())
+	b.pairs = append(b.pairs, packPair(u, v))
 	return true
 }
 
 // NumAdded returns the number of accepted Add calls (duplicates included).
-func (b *BuilderCSR) NumAdded() int { return len(b.edges) }
+func (b *BuilderCSR) NumAdded() int { return len(b.pairs) }
 
 // Build sorts, deduplicates, and produces the immutable Graph. The builder's
 // edge storage is consumed; the builder must not be reused.
 func (b *BuilderCSR) Build() *Graph {
-	g := newCSR(b.n, sortDedupEdges(b.edges))
-	b.edges = nil
+	g := csrFromPackedPairs(b.n, sortDedupPacked(b.pairs))
+	b.pairs = nil
 	return g
 }
 
@@ -280,20 +295,43 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d}", g.n, g.m)
 }
 
+// MemBytes returns the resident size of the CSR arrays in bytes
+// (8m for the arena plus 4(n+1) for the offsets). Benchmarks report this as
+// the construction-memory denominator.
+func (g *Graph) MemBytes() int64 {
+	return int64(len(g.arena))*4 + int64(len(g.off))*4
+}
+
+// Adjacency exposes the raw CSR arrays — offsets and the neighbor arena — as
+// read-only views, for engines that mirror per-edge state in a flat arena of
+// their own (e.g. the rotation machine's unused-edge tracking). Neither slice
+// may be modified.
+func (g *Graph) Adjacency() (off []int32, arena []NodeID) { return g.off, g.arena }
+
 // InducedSubgraph returns the subgraph induced by the given vertex set,
 // along with the mapping from new (dense) ids to original ids. The i-th
 // entry of the returned slice is the original id of new vertex i. Vertices
 // are relabeled in increasing original-id order.
+//
+// The subgraph's rows are written directly: because orig is ascending and
+// the parent's rows are sorted, relabeled neighbors arrive in row order, so
+// two passes (count, fill) build the CSR arrays with purely sequential
+// writes — no intermediate edge list, no growth reallocation. This is the
+// per-partition hot path of the sharded step engine.
 func (g *Graph) InducedSubgraph(vertices []NodeID) (*Graph, []NodeID) {
 	orig := make([]NodeID, len(vertices))
 	copy(orig, vertices)
 	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
 	orig = dedupe(orig)
 
+	sub := len(orig)
+	off := make([]int32, sub+1)
+
 	// Membership lookup: a dense table when the class is a sizable fraction
-	// of the graph (partition classes), a map for small ad-hoc sets.
-	var lookup func(NodeID) (NodeID, bool)
-	if 64*len(orig) >= g.n {
+	// of the graph (partition classes), a map for small ad-hoc sets. The
+	// dense branch keeps the table access inline — no closure in the per-edge
+	// loops.
+	if 64*sub >= g.n {
 		dense := make([]int32, g.n)
 		for i := range dense {
 			dense[i] = -1
@@ -301,32 +339,58 @@ func (g *Graph) InducedSubgraph(vertices []NodeID) (*Graph, []NodeID) {
 		for i, v := range orig {
 			dense[v] = int32(i)
 		}
-		lookup = func(v NodeID) (NodeID, bool) {
-			i := dense[v]
-			return NodeID(i), i >= 0
-		}
-	} else {
-		toNew := make(map[NodeID]NodeID, len(orig))
 		for i, v := range orig {
-			toNew[v] = NodeID(i)
+			d := int32(0)
+			for _, w := range g.Neighbors(v) {
+				if dense[w] >= 0 {
+					d++
+				}
+			}
+			off[i+1] = d
 		}
-		lookup = func(v NodeID) (NodeID, bool) {
-			i, ok := toNew[v]
-			return i, ok
+		for i := 0; i < sub; i++ {
+			off[i+1] += off[i]
 		}
+		arena := make([]NodeID, off[sub])
+		pos := 0
+		for _, v := range orig {
+			for _, w := range g.Neighbors(v) {
+				if j := dense[w]; j >= 0 {
+					arena[pos] = NodeID(j)
+					pos++
+				}
+			}
+		}
+		return &Graph{n: sub, m: int(off[sub]) / 2, off: off, arena: arena}, orig
 	}
 
-	// Because orig is ascending and neighbor rows are sorted, edges are
-	// generated in sorted canonical order and feed newCSR directly.
-	var edges []Edge
+	toNew := make(map[NodeID]NodeID, sub)
 	for i, v := range orig {
+		toNew[v] = NodeID(i)
+	}
+	for i, v := range orig {
+		d := int32(0)
 		for _, w := range g.Neighbors(v) {
-			if nw, ok := lookup(w); ok && NodeID(i) < nw {
-				edges = append(edges, Edge{U: NodeID(i), V: nw})
+			if _, ok := toNew[w]; ok {
+				d++
+			}
+		}
+		off[i+1] = d
+	}
+	for i := 0; i < sub; i++ {
+		off[i+1] += off[i]
+	}
+	arena := make([]NodeID, off[sub])
+	pos := 0
+	for _, v := range orig {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := toNew[w]; ok {
+				arena[pos] = j
+				pos++
 			}
 		}
 	}
-	return newCSR(len(orig), edges), orig
+	return &Graph{n: sub, m: int(off[sub]) / 2, off: off, arena: arena}, orig
 }
 
 func dedupe(s []NodeID) []NodeID {

@@ -49,12 +49,42 @@ func (g *Graph) BFS(src NodeID) *BFSResult {
 	return res
 }
 
+// Ecc computes the eccentricity of src within its component and the number
+// of vertices reached, using int32 distances and no parent/order arrays —
+// 8 bytes per vertex of transient state against BFS's 20. This is the lean
+// core behind connectivity checks and broadcast bounds on the step engine's
+// per-partition hot path, where a full BFSResult is pure overhead.
+func (g *Graph) Ecc(src NodeID) (ecc, reached int) {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 1, g.n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return ecc, len(queue)
+}
+
 // Connected reports whether the graph is connected (vacuously true for n<=1).
 func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
-	return len(g.BFS(0).Order) == g.n
+	_, reached := g.Ecc(0)
+	return reached == g.n
 }
 
 // Components returns the connected components as vertex lists.

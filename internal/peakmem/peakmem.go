@@ -1,0 +1,65 @@
+package peakmem
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler meters the heap high-water mark of a measured region by
+// sampling runtime.ReadMemStats' HeapAlloc on a background goroutine. It is
+// the source of the scaling rows' mem_peak_bytes: a sampled high-water, not
+// an exact bound — allocations shorter than the sampling interval can slip
+// between samples, so treat the number as a floor on the true peak. One
+// sample is taken synchronously at Start and one at Stop, so even a region
+// shorter than the interval contributes its entry and exit heap sizes.
+type Sampler struct {
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start begins sampling at the given interval (<= 0 selects the
+// 5ms default, fine-grained enough for multi-second solves while keeping the
+// stop-the-world cost of ReadMemStats negligible).
+func Start(interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		cur := s.peak.Load()
+		if ms.HeapAlloc <= cur || s.peak.CompareAndSwap(cur, ms.HeapAlloc) {
+			return
+		}
+	}
+}
+
+// Stop halts sampling, takes a final synchronous sample, and returns the
+// observed high-water mark in bytes. Stop must be called exactly once.
+func (s *Sampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	return int64(s.peak.Load())
+}

@@ -1,0 +1,46 @@
+package peakmem
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPeakSamplerSeesAllocation: a large allocation held across the sampling
+// window must raise the reported high-water by roughly its size.
+func TestPeakSamplerSeesAllocation(t *testing.T) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := int64(ms.HeapAlloc)
+
+	const block = 64 << 20
+	s := Start(time.Millisecond)
+	buf := make([]byte, block)
+	for i := 0; i < len(buf); i += 4096 {
+		buf[i] = 1
+	}
+	time.Sleep(20 * time.Millisecond)
+	peak := s.Stop()
+	runtime.KeepAlive(buf)
+
+	if peak < base+block/2 {
+		t.Fatalf("peak %d did not register a %d-byte allocation over baseline %d", peak, block, base)
+	}
+}
+
+// TestPeakSamplerStopIsFinal: Stop returns promptly and includes a final
+// synchronous sample, so even a region shorter than the interval meters its
+// exit heap.
+func TestPeakSamplerStopIsFinal(t *testing.T) {
+	s := Start(time.Hour) // ticker will never fire
+	buf := make([]byte, 32<<20)
+	for i := 0; i < len(buf); i += 4096 {
+		buf[i] = 1
+	}
+	peak := s.Stop()
+	runtime.KeepAlive(buf)
+	if peak < 32<<20 {
+		t.Fatalf("final Stop sample missed a live %d-byte buffer (peak %d)", 32<<20, peak)
+	}
+}

@@ -74,6 +74,10 @@ type Config struct {
 	// consume randomness, so an uninterrupted run is byte-identical with or
 	// without the hook — the step simulator wires a context check here.
 	Interrupt func() bool
+	// TrackRemovals allocates and maintains Stats.RemovalsPerNode. Off by
+	// default: the per-node counters cost 8 bytes per vertex per machine and
+	// are only read by the Theorem 2 analysis tests, not by any engine.
+	TrackRemovals bool
 }
 
 // interruptCheckEvery is Run's amortized cancellation-poll cadence in steps.
@@ -93,18 +97,30 @@ type Stats struct {
 	Extensions int64
 	Rotations  int64
 	// RemovalsPerNode[v] counts unused-edge removals charged to v
-	// (event E2.1 of the analysis bounds these by 21 ln n whp).
+	// (event E2.1 of the analysis bounds these by 21 ln n whp). Nil unless
+	// Config.TrackRemovals is set.
 	RemovalsPerNode []int64
 }
 
 // Machine is the rotation process state. Create with New, then call Step
 // until it returns a Closed event or an error, or use Run.
 type Machine struct {
-	g      *graph.Graph
-	src    *rng.Source
-	cfg    Config
-	path   *cycle.Path
-	unused [][]graph.NodeID // per node, remaining unused incident edges
+	g    *graph.Graph
+	src  *rng.Source
+	cfg  Config
+	path *cycle.Path
+	// head caches the path head: Extend sets it directly and RotateHead
+	// returns the new head as a byproduct of the rotation, so Step never
+	// pays a root-to-leaf treap descent just to learn where it is.
+	head graph.NodeID
+	// Unused-edge state, flat: row v of uarena occupies the graph's own CSR
+	// row span (uoff is the graph's offset array, shared read-only) and its
+	// first ucnt[v] slots hold v's remaining unused incident edges. Replaces
+	// the old [][]NodeID — one allocation instead of n, no 24-byte slice
+	// headers, and rows inherit the arena's cache layout.
+	uoff   []int32
+	ucnt   []int32
+	uarena []graph.NodeID
 	stats  Stats
 	done   bool
 }
@@ -119,25 +135,38 @@ func New(g *graph.Graph, start graph.NodeID, src *rng.Source, cfg Config) *Machi
 		src:  src,
 		cfg:  cfg,
 		path: cycle.NewPath(start),
-		stats: Stats{
-			RemovalsPerNode: make([]int64, g.N()),
-		},
+		head: start,
 	}
-	m.unused = make([][]graph.NodeID, g.N())
+	if cfg.TrackRemovals {
+		m.stats.RemovalsPerNode = make([]int64, g.N())
+	}
+	off, arena := g.Adjacency()
+	m.uoff = off
+	m.uarena = make([]graph.NodeID, len(arena))
+	m.ucnt = make([]int32, g.N())
 	keep := 1.0
 	if cfg.ThinningP > 0 {
 		q := 1 - math.Sqrt(1-cfg.ThinningP)
 		keep = q / cfg.ThinningP
 	}
-	for v := 0; v < g.N(); v++ {
-		nbs := g.Neighbors(graph.NodeID(v))
-		list := make([]graph.NodeID, 0, len(nbs))
-		for _, nb := range nbs {
-			if keep >= 1 || src.Bernoulli(keep) {
-				list = append(list, nb)
-			}
+	if keep >= 1 {
+		copy(m.uarena, arena)
+		for v := 0; v < g.N(); v++ {
+			m.ucnt[v] = off[v+1] - off[v]
 		}
-		m.unused[v] = list
+	} else {
+		// Thinning draws one Bernoulli per incident edge in neighbor order,
+		// exactly as the per-node list version did.
+		for v := 0; v < g.N(); v++ {
+			pos := off[v]
+			for _, nb := range arena[off[v]:off[v+1]] {
+				if src.Bernoulli(keep) {
+					m.uarena[pos] = nb
+					pos++
+				}
+			}
+			m.ucnt[v] = pos - off[v]
+		}
 	}
 	return m
 }
@@ -150,7 +179,7 @@ func (m *Machine) Stats() Stats { return m.stats }
 
 // UnusedCount returns the number of unused edges remaining at v, for memory
 // accounting in the distributed wrappers.
-func (m *Machine) UnusedCount(v graph.NodeID) int { return len(m.unused[v]) }
+func (m *Machine) UnusedCount(v graph.NodeID) int { return int(m.ucnt[v]) }
 
 // Done reports whether the machine has produced a Closed event.
 func (m *Machine) Done() bool { return m.done }
@@ -164,7 +193,7 @@ func (m *Machine) Step() (Event, error) {
 	if m.stats.Steps >= m.cfg.MaxSteps {
 		return Event{}, fmt.Errorf("%w: %d steps", ErrStepBudget, m.stats.Steps)
 	}
-	head := m.path.Head()
+	head := m.head
 	u, ok := m.popRandomUnused(head)
 	if !ok {
 		return Event{}, fmt.Errorf("%w: node %d after %d steps", ErrOutOfEdges, head, m.stats.Steps)
@@ -181,6 +210,7 @@ func (m *Machine) Step() (Event, error) {
 	case pos == 0:
 		// First visit: extend.
 		m.path.Extend(u)
+		m.head = u
 		m.stats.Extensions++
 		return Event{Kind: Extended, Head: head, Chosen: u, H: h + 1}, nil
 	case h == m.g.N() && pos == 1:
@@ -190,7 +220,7 @@ func (m *Machine) Step() (Event, error) {
 	default:
 		// Rotation at j = pos (the head is at position h; renumbering
 		// i <- h + j + 1 - i is applied by Path.Rotate).
-		m.path.Rotate(pos)
+		m.head = m.path.RotateHead(pos)
 		m.stats.Rotations++
 		return Event{Kind: Rotated, Head: head, Chosen: u, H: h, J: pos}, nil
 	}
@@ -221,26 +251,32 @@ func (m *Machine) Run() (*cycle.Cycle, Stats, error) {
 // popRandomUnused removes and returns a uniformly random entry of v's unused
 // list.
 func (m *Machine) popRandomUnused(v graph.NodeID) (graph.NodeID, bool) {
-	list := m.unused[v]
-	if len(list) == 0 {
+	cnt := m.ucnt[v]
+	if cnt == 0 {
 		return 0, false
 	}
-	i := m.src.Intn(len(list))
-	u := list[i]
-	list[i] = list[len(list)-1]
-	m.unused[v] = list[:len(list)-1]
-	m.stats.RemovalsPerNode[v]++
+	base := m.uoff[v]
+	i := base + int32(m.src.Intn(int(cnt)))
+	u := m.uarena[i]
+	m.uarena[i] = m.uarena[base+cnt-1]
+	m.ucnt[v] = cnt - 1
+	if m.stats.RemovalsPerNode != nil {
+		m.stats.RemovalsPerNode[v]++
+	}
 	return u, true
 }
 
 // removeUnused removes w from v's unused list if present.
 func (m *Machine) removeUnused(v, w graph.NodeID) {
-	list := m.unused[v]
+	base, cnt := m.uoff[v], m.ucnt[v]
+	list := m.uarena[base : base+cnt]
 	for i, x := range list {
 		if x == w {
-			list[i] = list[len(list)-1]
-			m.unused[v] = list[:len(list)-1]
-			m.stats.RemovalsPerNode[v]++
+			list[i] = list[cnt-1]
+			m.ucnt[v] = cnt - 1
+			if m.stats.RemovalsPerNode != nil {
+				m.stats.RemovalsPerNode[v]++
+			}
 			return
 		}
 	}

@@ -194,9 +194,12 @@ func TestRemovalsBoundedPerNode(t *testing.T) {
 	n := 500
 	p := 8 * math.Log(float64(n)) / float64(n)
 	g := graph.GNP(n, p, rng.New(31))
-	_, stats, err := Solve(g, rng.New(32), Config{})
+	_, stats, err := Solve(g, rng.New(32), Config{TrackRemovals: true})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if stats.RemovalsPerNode == nil {
+		t.Fatal("TrackRemovals did not allocate RemovalsPerNode")
 	}
 	bound := int64(30 * math.Log(float64(n)))
 	for v, r := range stats.RemovalsPerNode {

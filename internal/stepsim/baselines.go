@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"dhc/internal/bitset"
 	"dhc/internal/cycle"
 	"dhc/internal/graph"
 	"dhc/internal/rng"
@@ -225,12 +226,12 @@ func Levy(g *graph.Graph, seed uint64) (*cycle.Cycle, Cost, error) {
 	// with bridge merges; isolated stragglers are absorbed by rotation.
 	// Each merge/patch pays a broadcast (sequential tail).
 	var pieces []*cycle.Cycle
-	seen := make([]bool, n)
+	seen := bitset.Make(n)
 	for p := range alive {
 		var order []graph.NodeID
 		for w := tails[p]; ; w = succ[w] {
 			order = append(order, w)
-			seen[w] = true
+			seen.Add(int(w))
 			if w == heads[p] || succ[w] < 0 {
 				break
 			}
@@ -240,7 +241,7 @@ func Levy(g *graph.Graph, seed uint64) (*cycle.Cycle, Cost, error) {
 		pieces = append(pieces, cycle.FromOrder(order))
 	}
 	for v := 0; v < n; v++ {
-		if !seen[v] {
+		if !seen.Has(v) {
 			pieces = append(pieces, cycle.FromOrder([]graph.NodeID{graph.NodeID(v)}))
 		}
 	}

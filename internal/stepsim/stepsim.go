@@ -163,12 +163,15 @@ type Cost struct {
 }
 
 // broadcastBound mirrors the exact engine's choice: one BFS gives
-// 2·ecc+1 >= diameter.
+// 2·ecc+1 >= diameter. It uses the allocation-lean eccentricity scan — this
+// runs once per partition, where a full BFSResult's parent/order arrays are
+// dead weight.
 func broadcastBound(g *graph.Graph) int64 {
 	if g.N() == 0 {
 		return 1
 	}
-	return int64(2*g.BFS(0).Ecc + 1)
+	ecc, _ := g.Ecc(0)
+	return int64(2*ecc + 1)
 }
 
 // chargeRotationRounds prices a machine run like the adaptive exact engine:
@@ -221,12 +224,32 @@ func (s *Session) DRA(ctx context.Context, g *graph.Graph, seed uint64, maxAttem
 }
 
 // partition assigns each vertex one of k colors uniformly, mirroring DHC
-// Phase 1.
+// Phase 1. The classes are views into one flat arena: colors are drawn once
+// (in the same RNG order as ever), counted, and scattered, so the whole
+// partition costs two exact-size allocations instead of K append-grown
+// slices — class contents are identical (ascending vertex ids per class).
 func partition(n, k int, src *rng.Source) [][]graph.NodeID {
-	classes := make([][]graph.NodeID, k)
+	colors := make([]uint32, n)
+	counts := make([]int32, k+1)
 	for v := 0; v < n; v++ {
 		c := src.Intn(k)
-		classes[c] = append(classes[c], graph.NodeID(v))
+		colors[v] = uint32(c)
+		counts[c+1]++
+	}
+	for c := 0; c < k; c++ {
+		counts[c+1] += counts[c]
+	}
+	flat := make([]graph.NodeID, n)
+	cur := make([]int32, k)
+	copy(cur, counts[:k])
+	for v := 0; v < n; v++ {
+		c := colors[v]
+		flat[cur[c]] = graph.NodeID(v)
+		cur[c]++
+	}
+	classes := make([][]graph.NodeID, k)
+	for c := 0; c < k; c++ {
+		classes[c] = flat[counts[c]:counts[c+1]:counts[c+1]]
 	}
 	return classes
 }

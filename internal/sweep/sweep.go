@@ -600,12 +600,17 @@ func buildGraph(cell Cell, seed uint64) (*dhc.Graph, error) {
 		return dhc.NewGNP(cell.N, graph.HCThresholdP(cell.N, cell.Param, cell.Delta), seed), nil
 	case FamilyGNM:
 		p := graph.HCThresholdP(cell.N, cell.Param, cell.Delta)
-		maxM := cell.N * (cell.N - 1) / 2
-		m := int(math.Round(p * float64(maxM)))
+		// Pair counts in int64: at n >= 10^7, n(n-1)/2 wraps 32-bit arithmetic
+		// and would silently shrink the requested density.
+		maxM := graph.MaxEdges(cell.N)
+		m := int64(math.Round(p * float64(maxM)))
 		if m > maxM {
 			m = maxM
 		}
-		return dhc.NewGNM(cell.N, m, seed), nil
+		if err := graph.ValidateEdgeCount(cell.N, m); err != nil {
+			return nil, fmt.Errorf("sweep: gnm cell n=%d param=%v: %w", cell.N, cell.Param, err)
+		}
+		return dhc.NewGNM(cell.N, int(m), seed), nil
 	case FamilyRegular:
 		return dhc.NewRandomRegular(cell.N, int(cell.Param), seed)
 	case FamilyPowerlaw:
