@@ -55,9 +55,12 @@ func run() error {
 		validate   = flag.String("validate", "", "validate an existing JSON report (schema + no failed runs) and exit")
 		rev        = flag.String("rev", "dev", "revision label embedded in the JSON report")
 		algos      = flag.String("algos", "dhc2", "pipeline: comma-separated algorithms (dra,dhc1,dhc2,upcast)")
-		engines    = flag.String("engines", "step", "pipeline: comma-separated engines (step,exact,exact-dense)")
+		engines    = flag.String("engines", "step", "pipeline: comma-separated engines (step,exact,exact-dense,dist)")
 		sizes      = flag.String("sizes", "4096,16384", "pipeline: comma-separated vertex counts")
 		workerGrid = flag.String("workerGrid", "1,8", "pipeline: comma-separated worker counts to measure each point at")
+		shards     = flag.Int("shards", 4, "pipeline: shard-worker count for the dist engine columns")
+		transport  = flag.String("transport", "unix", "pipeline: shard transport for the dist engine (unix, tcp, proc)")
+		shardBin   = flag.String("shardbin", "", "pipeline: hcshard binary for -transport proc (default: resolve hcshard via PATH)")
 		colors     = flag.Int("colors", 8, "pipeline: partition count K (0 = let the algorithm derive it)")
 		delta      = flag.Float64("delta", 1.0, "pipeline: density exponent of p = cmult*ln(n)/n^delta")
 		cmult      = flag.Float64("cmult", 32, "pipeline: density constant of p = cmult*ln(n)/n^delta")
@@ -109,7 +112,7 @@ func run() error {
 		return runValidate(*validate)
 	}
 	if *client != "" {
-		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid, *shards, *transport, *shardBin)
 		if err != nil {
 			return err
 		}
@@ -123,7 +126,7 @@ func run() error {
 		})
 	}
 	if *scaling != "" {
-		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid, *shards, *transport, *shardBin)
 		if err != nil {
 			return err
 		}
@@ -135,7 +138,7 @@ func run() error {
 		})
 	}
 	if *jsonOut != "" {
-		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid)
+		grid, err := parseGrid(*algos, *engines, *sizes, *workerGrid, *shards, *transport, *shardBin)
 		if err != nil {
 			return err
 		}
@@ -186,6 +189,25 @@ type benchGrid struct {
 	engines    []bench.EngineMode
 	sizes      []int
 	workerGrid []int
+	// shards/transport/shardBin are the shard topology applied to every
+	// "dist" engine column of the grid (ignored by the in-process engines).
+	shards              int
+	transport, shardBin string
+}
+
+// applyDist configures opts for the distributed engine when mode is a "dist"
+// column, and mirrors the topology into the report record (nil rec skipped).
+func applyDist(grid benchGrid, mode bench.EngineMode, opts *dhc.Options, rec *bench.Record) {
+	if !mode.Dist {
+		return
+	}
+	opts.Shards = grid.shards
+	opts.Transport = grid.transport
+	opts.ShardBinary = grid.shardBin
+	if rec != nil {
+		rec.Shards = grid.shards
+		rec.Transport = grid.transport
+	}
 }
 
 type jsonParams struct {
@@ -207,8 +229,8 @@ type genParams struct {
 	param, delta float64
 }
 
-func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
-	var g benchGrid
+func parseGrid(algos, engines, sizes, workerGrid string, shards int, transport, shardBin string) (benchGrid, error) {
+	g := benchGrid{shards: shards, transport: transport, shardBin: shardBin}
 	var err error
 	if g.algos, err = bench.ParseAlgorithms(algos); err != nil {
 		return g, err
@@ -224,6 +246,11 @@ func parseGrid(algos, engines, sizes, workerGrid string) (benchGrid, error) {
 	}
 	if len(g.algos) == 0 || len(g.engines) == 0 || len(g.sizes) == 0 || len(g.workerGrid) == 0 {
 		return g, fmt.Errorf("empty pipeline grid")
+	}
+	for _, e := range g.engines {
+		if e.Dist && g.shards < 2 {
+			return g, fmt.Errorf("engine dist needs -shards >= 2 (got %d)", g.shards)
+		}
 	}
 	return g, nil
 }
@@ -265,8 +292,7 @@ func runJSON(ctx context.Context, p jsonParams) error {
 							BroadcastBound: p.bound,
 							Workers:        workers,
 						}
-						start := time.Now()
-						res, err := dhc.SolveContext(ctx, g, algo, dhc.Options{
+						opts := dhc.Options{
 							Seed:           rec.Seed,
 							Engine:         engine.Engine,
 							NumColors:      p.colors,
@@ -274,7 +300,10 @@ func runJSON(ctx context.Context, p jsonParams) error {
 							Workers:        workers,
 							DenseSweep:     engine.Dense,
 							BroadcastBound: p.bound,
-						})
+						}
+						applyDist(p.grid, engine, &opts, &rec)
+						start := time.Now()
+						res, err := dhc.SolveContext(ctx, g, algo, opts)
 						rec.WallSeconds = time.Since(start).Seconds()
 						if err != nil {
 							rec.Error = err.Error()
@@ -284,6 +313,7 @@ func runJSON(ctx context.Context, p jsonParams) error {
 							rec.Steps = res.Steps
 							rec.Phase1Rounds = res.Phase1Rounds
 							rec.Phase2Rounds = res.Phase2Rounds
+							rec.ShardStats = res.ShardStats
 							if res.Counters != nil {
 								rec.Messages = res.Counters.Messages
 								rec.Bits = res.Counters.Bits
@@ -362,6 +392,7 @@ func appendReuseRecords(ctx context.Context, rep *bench.Report, p jsonParams) er
 						Workers:        workers,
 						BroadcastBound: p.bound,
 					}
+					applyDist(p.grid, engine, &opts, nil)
 					solver, err := dhc.NewSolver(algo, opts)
 					if err != nil {
 						return err
@@ -393,6 +424,10 @@ func appendReuseRecords(ctx context.Context, rep *bench.Report, p jsonParams) er
 							Workers:        workers,
 							Mode:           s.mode,
 						}
+						if engine.Dist {
+							rec.Shards = p.grid.shards
+							rec.Transport = p.grid.transport
+						}
 						start := time.Now()
 						var res *dhc.Result
 						var err error
@@ -416,6 +451,9 @@ func appendReuseRecords(ctx context.Context, rep *bench.Report, p jsonParams) er
 							rec.Steps = res.Steps
 							rec.Phase1Rounds = res.Phase1Rounds
 							rec.Phase2Rounds = res.Phase2Rounds
+							// Last trial's shard accounting stands in for the
+							// series (per-trial stats would bloat Mode rows).
+							rec.ShardStats = res.ShardStats
 							if res.Counters != nil {
 								rec.Messages = res.Counters.Messages
 								rec.Bits = res.Counters.Bits

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"dhc"
@@ -22,6 +23,8 @@ type scalingParams struct {
 	seed         uint64
 	colors       int
 	delta, cmult float64
+	// solve overrides dhc.SolveContext in tests; nil selects the real solver.
+	solve func(ctx context.Context, g *dhc.Graph, algo dhc.Algorithm, opts dhc.Options) (*dhc.Result, error)
 }
 
 // runScaling measures the multi-core scaling curve: for each size it builds
@@ -31,9 +34,17 @@ type scalingParams struct {
 // carrying mem_peak_bytes / bytes_per_vertex / construction_peak_bytes /
 // graph_bytes. Counters must be byte-identical across the whole worker grid —
 // any divergence aborts the run before a report is written, making this mode
-// double as the determinism smoke test CI runs on every push.
+// double as the determinism smoke test CI runs on every push. A cell whose
+// solve errors fails the run too: an errored cell never entered the identity
+// check, so letting it through would report "deterministic" for a grid that
+// was never actually compared.
 func runScaling(ctx context.Context, p scalingParams) error {
+	solve := p.solve
+	if solve == nil {
+		solve = dhc.SolveContext
+	}
 	rep := bench.NewReport(p.rev, runtime.Version(), runtime.NumCPU())
+	var failed []string
 	for _, n := range p.grid.sizes {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("scaling grid canceled; %s not written: %w", p.out, err)
@@ -71,17 +82,19 @@ func runScaling(ctx context.Context, p scalingParams) error {
 						ConstructionPeakBytes: constructionPeak,
 						GraphBytes:            graphBytes,
 					}
-					runtime.GC()
-					ps := peakmem.Start(0)
-					start := time.Now()
-					res, err := dhc.SolveContext(ctx, g, algo, dhc.Options{
+					opts := dhc.Options{
 						Seed:       rec.Seed,
 						Engine:     engine.Engine,
 						NumColors:  p.colors,
 						Delta:      p.delta,
 						Workers:    workers,
 						DenseSweep: engine.Dense,
-					})
+					}
+					applyDist(p.grid, engine, &opts, &rec)
+					runtime.GC()
+					ps := peakmem.Start(0)
+					start := time.Now()
+					res, err := solve(ctx, g, algo, opts)
 					rec.WallSeconds = time.Since(start).Seconds()
 					rec.MemPeakBytes = ps.Stop()
 					solverBytes := rec.MemPeakBytes - graphBytes
@@ -97,6 +110,7 @@ func runScaling(ctx context.Context, p scalingParams) error {
 						rec.Steps = res.Steps
 						rec.Phase1Rounds = res.Phase1Rounds
 						rec.Phase2Rounds = res.Phase2Rounds
+						rec.ShardStats = res.ShardStats
 						if res.Counters != nil {
 							rec.Messages = res.Counters.Messages
 							rec.Bits = res.Counters.Bits
@@ -111,6 +125,14 @@ func runScaling(ctx context.Context, p scalingParams) error {
 					fmt.Printf("%s/%s n=%d workers=%d: wall=%.3fs peak=%.1fMB (%.0f solver B/vertex) %s\n",
 						rec.Algo, rec.Engine, n, workers, rec.WallSeconds,
 						mb(rec.MemPeakBytes), rec.BytesPerVertex, status)
+					if !rec.OK {
+						// An errored cell is a hole in the counter-identity
+						// check, not a pass: record it and fail the run once
+						// the grid finishes, so one look at the output lists
+						// every broken cell instead of just the first.
+						failed = append(failed, fmt.Sprintf("%s/%s n=%d workers=%d: %s",
+							rec.Algo, rec.Engine, n, workers, rec.Error))
+					}
 					if rec.OK {
 						if base == nil {
 							cp := rec
@@ -130,6 +152,11 @@ func runScaling(ctx context.Context, p scalingParams) error {
 				}
 			}
 		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("scaling run failed: %d cell(s) errored, so the cross-worker "+
+			"determinism check did not cover the grid; %s not written:\n  %s",
+			len(failed), p.out, strings.Join(failed, "\n  "))
 	}
 	if err := rep.Validate(); err != nil {
 		return err

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dhc"
+	"dhc/internal/bench"
+)
+
+func tinyScalingParams(t *testing.T) scalingParams {
+	t.Helper()
+	return scalingParams{
+		out:    filepath.Join(t.TempDir(), "scaling.json"),
+		rev:    "test",
+		seed:   1,
+		delta:  0.5,
+		cmult:  8,
+		colors: 1,
+		grid: benchGrid{
+			algos:      []dhc.Algorithm{dhc.AlgorithmDRA},
+			engines:    []bench.EngineMode{{Engine: dhc.EngineExact}},
+			sizes:      []int{24},
+			workerGrid: []int{1, 2},
+		},
+	}
+}
+
+// TestRunScalingFailsOnErroredCell pins the fix for the silent determinism
+// hole: a grid whose every solve errors used to "pass" the cross-worker
+// counter-identity check (errored cells were simply skipped). The run must
+// now fail and leave no report behind.
+func TestRunScalingFailsOnErroredCell(t *testing.T) {
+	p := tinyScalingParams(t)
+	boom := errors.New("solver exploded")
+	p.solve = func(context.Context, *dhc.Graph, dhc.Algorithm, dhc.Options) (*dhc.Result, error) {
+		return nil, boom
+	}
+	err := runScaling(context.Background(), p)
+	if err == nil {
+		t.Fatal("runScaling succeeded with every cell errored")
+	}
+	if !strings.Contains(err.Error(), "solver exploded") || !strings.Contains(err.Error(), "2 cell(s)") {
+		t.Fatalf("error does not identify the failing cells: %v", err)
+	}
+	if _, statErr := os.Stat(p.out); !os.IsNotExist(statErr) {
+		t.Fatalf("report %s was written despite errored cells (stat err: %v)", p.out, statErr)
+	}
+}
+
+// TestRunScalingWritesReportWhenGridIsClean: the happy path still writes a
+// validating report, so the new failure gate cannot mask a healthy grid.
+func TestRunScalingWritesReportWhenGridIsClean(t *testing.T) {
+	p := tinyScalingParams(t)
+	if err := runScaling(context.Background(), p); err != nil {
+		t.Fatalf("runScaling: %v", err)
+	}
+	data, err := os.ReadFile(p.out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	rep, err := bench.DecodeReport(data)
+	if err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	if len(rep.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(rep.Records))
+	}
+}

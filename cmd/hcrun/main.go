@@ -36,21 +36,24 @@ func main() {
 
 func run() error {
 	var (
-		algoName = flag.String("algo", "dhc2", "algorithm: dra, dhc1, dhc2, upcast")
-		n        = flag.Int("n", 1024, "number of vertices")
-		p        = flag.Float64("p", 0, "edge probability (overrides -c/-delta)")
-		c        = flag.Float64("c", 16, "density constant of p = c ln(n)/n^delta")
-		delta    = flag.Float64("delta", 0.5, "sparsity exponent delta")
-		seed     = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
-		engine   = flag.String("engine", "exact", "engine: exact (event-driven), exact-dense (dense-sweep oracle) or step")
-		bound    = flag.Int64("bound", 0, "broadcast-bound override B for the exact engines (0 = tight default)")
-		maxR     = flag.Int64("maxrounds", 0, "round-budget override for the exact engines (0 = derived default)")
-		timeout  = flag.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
-		progress = flag.Bool("progress", false, "stream phases, restarts and round progress to stderr")
-		workers  = flag.Int("workers", 1, "parallel workers (exact-engine executor / step-engine phase-1 shards)")
-		colors   = flag.Int("colors", 0, "override partition count K")
-		asJSON   = flag.Bool("json", false, "JSON output")
-		quiet    = flag.Bool("q", false, "suppress the cycle itself")
+		algoName  = flag.String("algo", "dhc2", "algorithm: dra, dhc1, dhc2, upcast")
+		n         = flag.Int("n", 1024, "number of vertices")
+		p         = flag.Float64("p", 0, "edge probability (overrides -c/-delta)")
+		c         = flag.Float64("c", 16, "density constant of p = c ln(n)/n^delta")
+		delta     = flag.Float64("delta", 0.5, "sparsity exponent delta")
+		seed      = flag.Uint64("seed", 1, "run seed (graph uses seed+1)")
+		engine    = flag.String("engine", "exact", "engine: exact (event-driven), exact-dense (dense-sweep oracle) or step")
+		bound     = flag.Int64("bound", 0, "broadcast-bound override B for the exact engines (0 = tight default)")
+		maxR      = flag.Int64("maxrounds", 0, "round-budget override for the exact engines (0 = derived default)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock bound on the run (0 = none)")
+		progress  = flag.Bool("progress", false, "stream phases, restarts and round progress to stderr")
+		workers   = flag.Int("workers", 1, "parallel workers (exact-engine executor / step-engine phase-1 shards)")
+		colors    = flag.Int("colors", 0, "override partition count K")
+		shards    = flag.Int("shards", 0, "run the exact engine distributed across this many shard workers (0/1 = in-process)")
+		transport = flag.String("transport", "", "shard transport when -shards > 1: unix (default), tcp, or proc (real hcshard processes)")
+		shardBin  = flag.String("shardbin", "", "hcshard binary for -transport proc (default: resolve hcshard via PATH)")
+		asJSON    = flag.Bool("json", false, "JSON output")
+		quiet     = flag.Bool("q", false, "suppress the cycle itself")
 	)
 	flag.Parse()
 
@@ -76,6 +79,9 @@ func run() error {
 		Workers:        *workers,
 		BroadcastBound: *bound,
 		MaxRounds:      *maxR,
+		Shards:         *shards,
+		Transport:      *transport,
+		ShardBinary:    *shardBin,
 	}
 	if *progress {
 		opts.Observer = progressObserver()
@@ -110,6 +116,9 @@ func run() error {
 			out["bits"] = res.Counters.Bits
 			out["maxMemWords"] = res.Counters.MemoryDistribution().Max
 		}
+		if res.ShardStats != nil {
+			out["shards"] = res.ShardStats
+		}
 		if !*quiet {
 			out["cycle"] = res.Cycle.Order()
 		}
@@ -127,6 +136,12 @@ func run() error {
 		fmt.Printf("  messages=%d bits=%d maxMsgBits=%d memMax=%d memP50=%d\n",
 			res.Counters.Messages, res.Counters.Bits, res.Counters.MaxMessageBits,
 			mem.Max, mem.P50)
+	}
+	if res.ShardStats != nil {
+		for _, st := range res.ShardStats {
+			fmt.Printf("  shard %d [%d,%d): sent=%dB recv=%dB busy=%.3fs\n",
+				st.Shard, st.Lo, st.Hi, st.BytesSent, st.BytesRecv, st.BusySeconds)
+		}
 	}
 	if !*quiet {
 		fmt.Printf("  cycle: %v\n", res.Cycle)

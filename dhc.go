@@ -30,6 +30,7 @@ import (
 	"dhc/internal/congest"
 	"dhc/internal/core"
 	"dhc/internal/cycle"
+	"dhc/internal/dist"
 	"dhc/internal/dra"
 	"dhc/internal/graph"
 	"dhc/internal/metrics"
@@ -210,6 +211,22 @@ type Options struct {
 	// failure and corrupt the failure taxonomy). Ignored by EngineStep,
 	// which has no round loop to bound — use a context deadline there.
 	MaxRounds int64
+	// Shards > 1 runs the exact engine distributed: the vertex set is
+	// partitioned into that many contiguous shards, each executed by its own
+	// worker behind a real transport (see Transport), with the coordinator
+	// replaying the in-process round loop over per-round message batches. A
+	// distributed run is byte-identical to the in-process run — same cycle,
+	// same counters — which the differential tests enforce. 0 or 1 keeps the
+	// in-process engine. Exact engine only.
+	Shards int
+	// Transport selects the shard transport when Shards > 1: "unix"
+	// (default) and "tcp" run goroutine workers behind real sockets; "proc"
+	// forks one hcshard OS process per shard (DRA and DHC2 only — their
+	// programs are portable across a process boundary).
+	Transport string
+	// ShardBinary is the hcshard executable for Transport "proc"
+	// ("hcshard" via PATH when empty).
+	ShardBinary string
 	// Observer, if non-nil, receives best-effort lifecycle callbacks (see
 	// Observer). It observes only: a run's cycle, rounds and counters are
 	// byte-identical with or without it.
@@ -280,7 +297,13 @@ type Result struct {
 	// phases (zero otherwise).
 	Phase1Rounds int64
 	Phase2Rounds int64
+	// ShardStats is the per-shard transport accounting when the run executed
+	// distributed (Options.Shards > 1); nil otherwise.
+	ShardStats []ShardStat
 }
+
+// ShardStat re-exports the distributed engine's per-shard accounting record.
+type ShardStat = dist.ShardStat
 
 // ErrNoHamiltonianCycle is returned when the run terminates without a valid
 // Hamiltonian cycle.
@@ -414,6 +437,10 @@ type Solver struct {
 	dhc2Sess *core.DHC2Session
 	upSess   *upcast.Session
 	stepSess *stepsim.Session
+
+	// cluster is the distributed executor, built once at NewSolver when
+	// Shards > 1 and injected into whichever session the algorithm uses.
+	cluster *dist.Cluster
 }
 
 // ErrSolverInUse is returned by Solver.Solve/SolveSeeded when the session
@@ -446,7 +473,31 @@ func NewSolver(algo Algorithm, opts Options) (*Solver, error) {
 		// error, not a round-limit verdict.
 		return nil, fmt.Errorf("dhc: max rounds %d must be >= 0", opts.MaxRounds)
 	}
-	return &Solver{algo: algo, opts: opts}, nil
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("dhc: shard count %d must be >= 0", opts.Shards)
+	}
+	s := &Solver{algo: algo, opts: opts}
+	if opts.Shards > 1 {
+		if opts.Engine != EngineExact {
+			return nil, fmt.Errorf("dhc: shards require the exact engine")
+		}
+		if opts.Transport == dist.TransportProc && algo != AlgorithmDRA && algo != AlgorithmDHC2 {
+			return nil, fmt.Errorf("dhc: algorithm %s is not portable to worker processes (transport %q supports dra and dhc2; use unix or tcp)",
+				algo, opts.Transport)
+		}
+		cluster, err := dist.NewCluster(dist.Options{
+			Shards:      opts.Shards,
+			Transport:   opts.Transport,
+			ShardBinary: opts.ShardBinary,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cluster
+	} else if opts.Transport != "" {
+		return nil, fmt.Errorf("dhc: transport %q requires shards > 1", opts.Transport)
+	}
+	return s, nil
 }
 
 // Algorithm returns the algorithm this solver runs.
@@ -486,19 +537,26 @@ func (s *Solver) solveExact(ctx context.Context, g *Graph, seed uint64) (*Result
 		Progress:   opts.Observer.progress(),
 	}
 	opts.Observer.phase("run")
+	var res *Result
 	switch s.algo {
 	case AlgorithmDRA:
 		if s.draSess == nil {
 			s.draSess = dra.NewSession()
 		}
+		if s.cluster != nil {
+			s.draSess.SetRunner(s.cluster)
+		}
 		r, err := s.draSess.Run(ctx, g, seed, dra.NodeOptions{BroadcastRounds: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
-		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Steps: r.Steps, Counters: r.Counters}, nil
+		res = &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Steps: r.Steps, Counters: r.Counters}
 	case AlgorithmDHC1:
 		if s.dhc1Sess == nil {
 			s.dhc1Sess = core.NewDHC1Session()
+		}
+		if s.cluster != nil {
+			s.dhc1Sess.SetRunner(s.cluster)
 		}
 		r, err := s.dhc1Sess.Run(ctx, g, seed, core.DHC1Options{
 			NumColors: opts.NumColors,
@@ -509,10 +567,13 @@ func (s *Solver) solveExact(ctx context.Context, g *Graph, seed uint64) (*Result
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
-		return fromCoreResult(r), nil
+		res = fromCoreResult(r)
 	case AlgorithmDHC2:
 		if s.dhc2Sess == nil {
 			s.dhc2Sess = core.NewDHC2Session()
+		}
+		if s.cluster != nil {
+			s.dhc2Sess.SetRunner(s.cluster)
 		}
 		r, err := s.dhc2Sess.Run(ctx, g, seed, core.DHC2Options{
 			Delta:     opts.Delta,
@@ -524,19 +585,26 @@ func (s *Solver) solveExact(ctx context.Context, g *Graph, seed uint64) (*Result
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
-		return fromCoreResult(r), nil
+		res = fromCoreResult(r)
 	case AlgorithmUpcast:
 		if s.upSess == nil {
 			s.upSess = upcast.NewSession()
+		}
+		if s.cluster != nil {
+			s.upSess.SetRunner(s.cluster)
 		}
 		r, err := s.upSess.Run(ctx, g, seed, upcast.Options{SamplesPerNode: opts.SamplesPerNode, B: opts.BroadcastBound}, netOpts)
 		if err != nil {
 			return nil, wrapNoHC(err)
 		}
-		return &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Counters: r.Counters}, nil
+		res = &Result{Cycle: r.Cycle, Rounds: r.Counters.Rounds, Counters: r.Counters}
 	default:
 		return nil, fmt.Errorf("dhc: unknown algorithm %d", s.algo)
 	}
+	if s.cluster != nil {
+		res.ShardStats = s.cluster.Stats()
+	}
+	return res, nil
 }
 
 func (s *Solver) solveStep(ctx context.Context, g *Graph, seed uint64) (*Result, error) {

@@ -1,0 +1,196 @@
+package dhc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// checkDistIdentity solves g both ways and requires byte-identical results:
+// the distributed engine's whole contract is that sharding is invisible in
+// every measured quantity, so any drift — rounds, skipped rounds, messages,
+// bits, per-node distributions, or the cycle itself — is a bug.
+func checkDistIdentity(t *testing.T, g *Graph, algo Algorithm, base Options, dist Options) {
+	t.Helper()
+	want, err := Solve(g, algo, base)
+	if err != nil {
+		t.Fatalf("in-process solve: %v", err)
+	}
+	got, err := Solve(g, algo, dist)
+	if err != nil {
+		t.Fatalf("distributed solve: %v", err)
+	}
+	if got.Rounds != want.Rounds || got.Steps != want.Steps ||
+		got.Phase1Rounds != want.Phase1Rounds || got.Phase2Rounds != want.Phase2Rounds {
+		t.Fatalf("result drift: dist (rounds=%d steps=%d p1=%d p2=%d) vs oracle (rounds=%d steps=%d p1=%d p2=%d)",
+			got.Rounds, got.Steps, got.Phase1Rounds, got.Phase2Rounds,
+			want.Rounds, want.Steps, want.Phase1Rounds, want.Phase2Rounds)
+	}
+	if !reflect.DeepEqual(got.Cycle.Order(), want.Cycle.Order()) {
+		t.Fatal("distributed run found a different cycle")
+	}
+	if !reflect.DeepEqual(got.Counters, want.Counters) {
+		t.Fatalf("counter drift:\ndist:   %+v\noracle: %+v", got.Counters, want.Counters)
+	}
+	if want.ShardStats != nil {
+		t.Fatal("in-process run carries shard stats")
+	}
+	shards := dist.Shards
+	if shards > g.N() {
+		shards = g.N()
+	}
+	if len(got.ShardStats) != shards {
+		t.Fatalf("%d shard stats for %d shards", len(got.ShardStats), shards)
+	}
+	for _, st := range got.ShardStats {
+		if st.BytesSent <= 0 || st.BytesRecv <= 0 || st.NodeN <= 0 {
+			t.Fatalf("shard %d stats not metered: %+v", st.Shard, st)
+		}
+	}
+}
+
+// TestDistMatchesInProcessOracle is the differential harness of the
+// distributed engine: n in {64, 256} x {dra, dhc2}, each across two shard
+// counts, goroutine workers behind real unix/tcp sockets. Run under -race
+// this also proves the coordinator/worker handoff is properly synchronized.
+func TestDistMatchesInProcessOracle(t *testing.T) {
+	skipIfShort(t)
+	cases := []struct {
+		algo      Algorithm
+		n         int
+		p         float64
+		graphSeed uint64
+		shards    []int
+		transport string
+	}{
+		{AlgorithmDRA, 64, 0.5, 11, []int{2, 5}, ""},
+		{AlgorithmDRA, 256, 0.15, 11, []int{3, 4}, ""},
+		{AlgorithmDHC2, 64, 0.8, 4, []int{2, 5}, "tcp"},
+		{AlgorithmDHC2, 256, 0.7, 4, []int{3, 4}, ""},
+	}
+	for _, tc := range cases {
+		for _, k := range tc.shards {
+			t.Run(fmt.Sprintf("%s/n%d/k%d", tc.algo, tc.n, k), func(t *testing.T) {
+				g := NewGNP(tc.n, tc.p, tc.graphSeed)
+				base := Options{Seed: 3, Delta: 0.5}
+				dist := base
+				dist.Shards = k
+				dist.Transport = tc.transport
+				checkDistIdentity(t, g, tc.algo, base, dist)
+			})
+		}
+	}
+}
+
+// hcshardBinary builds cmd/hcshard once per test process for the proc
+// transport legs.
+var hcshardBinary = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "hcshard-test-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "hcshard")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/hcshard")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("build hcshard: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+// TestDistProcMatchesInProcessOracle runs the differential harness against
+// real hcshard OS processes: the graph ships over the socket, the programs
+// are rebuilt from their portable specs, and the final states are restored
+// into the parent — and the results must still be byte-identical.
+func TestDistProcMatchesInProcessOracle(t *testing.T) {
+	skipIfShort(t)
+	bin, err := hcshardBinary()
+	if err != nil {
+		t.Skipf("cannot build hcshard: %v", err)
+	}
+	for _, tc := range []struct {
+		algo      Algorithm
+		n         int
+		p         float64
+		graphSeed uint64
+	}{
+		{AlgorithmDRA, 64, 0.5, 11},
+		{AlgorithmDHC2, 96, 0.8, 4},
+	} {
+		t.Run(fmt.Sprintf("%s/n%d", tc.algo, tc.n), func(t *testing.T) {
+			g := NewGNP(tc.n, tc.p, tc.graphSeed)
+			base := Options{Seed: 3, Delta: 0.5}
+			dist := base
+			dist.Shards = 3
+			dist.Transport = "proc"
+			dist.ShardBinary = bin
+			checkDistIdentity(t, g, tc.algo, base, dist)
+		})
+	}
+}
+
+// TestDistProcShardDeath kills every worker process mid-run via the fault
+// environment (the same knob the CI chaos leg uses) and requires a classified
+// error — FailureError, within the deadline, never a hang.
+func TestDistProcShardDeath(t *testing.T) {
+	skipIfShort(t)
+	bin, err := hcshardBinary()
+	if err != nil {
+		t.Skipf("cannot build hcshard: %v", err)
+	}
+	t.Setenv("HCSHARD_FAULT_MODE", "crash")
+	t.Setenv("HCSHARD_FAULT_ROUND", "2")
+	g := NewGNP(64, 0.5, 11)
+	_, err = Solve(g, AlgorithmDRA, Options{
+		Seed: 3, NumColors: 8, Shards: 3, Transport: "proc", ShardBinary: bin,
+	})
+	if err == nil {
+		t.Fatal("run with crashing shards succeeded")
+	}
+	if class := Classify(err); class != FailureError {
+		t.Fatalf("shard death classified as %s (%v), want %s", class, err, FailureError)
+	}
+}
+
+// TestDistCancelClassified cancels a distributed run up front and requires
+// the canceled classification, mirroring the in-process engine's contract.
+func TestDistCancelClassified(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := NewGNP(64, 0.5, 11)
+	_, err := SolveContext(ctx, g, AlgorithmDRA, Options{Seed: 3, NumColors: 8, Shards: 2})
+	if err == nil {
+		t.Fatal("pre-canceled run succeeded")
+	}
+	if class := Classify(err); class != FailureCanceled {
+		t.Fatalf("canceled run classified as %s (%v)", class, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("context.Canceled lost from the chain: %v", err)
+	}
+}
+
+// TestDistOptionValidation pins the solver-level shard option checking.
+func TestDistOptionValidation(t *testing.T) {
+	g := NewGNP(16, 0.5, 1)
+	if _, err := Solve(g, AlgorithmDRA, Options{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := Solve(g, AlgorithmDRA, Options{Shards: 2, Engine: EngineStep}); err == nil {
+		t.Fatal("step engine with shards accepted")
+	}
+	if _, err := Solve(g, AlgorithmDRA, Options{Transport: "tcp"}); err == nil {
+		t.Fatal("transport without shards accepted")
+	}
+	if _, err := Solve(g, AlgorithmDHC1, Options{Shards: 2, Transport: "proc"}); err == nil {
+		t.Fatal("proc transport with non-portable algorithm accepted")
+	}
+	if _, err := Solve(g, AlgorithmDRA, Options{Shards: 2, Transport: "quantum"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

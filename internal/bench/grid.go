@@ -15,17 +15,23 @@ import (
 
 // EngineMode is one engine column of a grid: the simulation engine plus, for
 // the exact engine, the scheduling mode (event-driven vs the dense-sweep
-// oracle).
+// oracle) and whether the run is distributed across shard workers.
 type EngineMode struct {
 	Engine dhc.Engine
 	Dense  bool
+	// Dist selects the distributed exact engine (shard workers behind real
+	// transports); the driver supplies the shard count and transport.
+	Dist bool
 }
 
-// Name returns the mode's report spelling: "step", "exact" or "exact-dense".
+// Name returns the mode's report spelling: "step", "exact", "exact-dense" or
+// "dist".
 func (e EngineMode) Name() string {
 	switch {
 	case e.Engine == dhc.EngineStep:
 		return "step"
+	case e.Dist:
+		return "dist"
 	case e.Dense:
 		return "exact-dense"
 	default:
@@ -36,7 +42,7 @@ func (e EngineMode) Name() string {
 // EngineModeNames returns the engine-column vocabulary in sorted order —
 // exactly the spelling ParseEngineMode's error reports.
 func EngineModeNames() []string {
-	return []string{"exact", "exact-dense", "step"}
+	return []string{"dist", "exact", "exact-dense", "step"}
 }
 
 // FamilyNames returns the graph-family vocabulary of the report schema in
@@ -45,6 +51,16 @@ func EngineModeNames() []string {
 // lives here because the schema validator cannot import the sweep package.
 func FamilyNames() []string {
 	return []string{"geometric", "gnm", "gnp", "hypercube", "powerlaw", "regular", "sbm", "torus"}
+}
+
+// ValidEngine reports whether name is in the EngineModeNames vocabulary.
+func ValidEngine(name string) bool {
+	for _, e := range EngineModeNames() {
+		if e == name {
+			return true
+		}
+	}
+	return false
 }
 
 // ValidFamily reports whether name is in the FamilyNames vocabulary.
@@ -68,6 +84,8 @@ func ParseEngineMode(s string) (EngineMode, error) {
 		return EngineMode{Engine: dhc.EngineExact}, nil
 	case "exact-dense":
 		return EngineMode{Engine: dhc.EngineExact, Dense: true}, nil
+	case "dist":
+		return EngineMode{Engine: dhc.EngineExact, Dist: true}, nil
 	default:
 		return EngineMode{}, fmt.Errorf("unknown engine %q (valid: %s)", s, strings.Join(EngineModeNames(), ", "))
 	}

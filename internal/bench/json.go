@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"dhc"
 )
 
 // SchemaVersion identifies the BENCH_<rev>.json layout. Bump it when a field
@@ -106,6 +108,17 @@ type Record struct {
 	ConstructionPeakBytes int64 `json:"construction_peak_bytes,omitempty"`
 	// GraphBytes is the built CSR's resident footprint (arena + offsets).
 	GraphBytes int64 `json:"graph_bytes,omitempty"`
+	// Shards and Transport describe the sharded topology of engine "dist"
+	// rows: how many worker shards the run was partitioned across and the
+	// transport their frames crossed ("unix", "tcp" or "proc"). Zero/empty
+	// for the in-process engines; Validate enforces that pairing. Pure
+	// schema-v2 additions.
+	Shards    int    `json:"shards,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	// ShardStats is the per-shard wall/bytes-on-the-wire accounting of a
+	// dist row: each shard's vertex range, bytes sent/received through the
+	// frame codec, and busy time inside Step/Deliver calls.
+	ShardStats []dhc.ShardStat `json:"shard_stats,omitempty"`
 	// OK is false when the run errored; Error then holds the message.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -412,8 +425,14 @@ func (r *Report) Validate() error {
 		if rec.Algo == "" {
 			return fmt.Errorf("bench: record %d missing algo", i)
 		}
-		if rec.Engine != "exact" && rec.Engine != "exact-dense" && rec.Engine != "step" {
+		if !ValidEngine(rec.Engine) {
 			return fmt.Errorf("bench: record %d has unknown engine %q", i, rec.Engine)
+		}
+		if rec.Engine == "dist" && rec.Shards < 2 {
+			return fmt.Errorf("bench: record %d is a dist row with shards = %d", i, rec.Shards)
+		}
+		if rec.Engine != "dist" && (rec.Shards != 0 || len(rec.ShardStats) != 0) {
+			return fmt.Errorf("bench: record %d carries shard fields but engine is %q", i, rec.Engine)
 		}
 		if rec.N <= 0 {
 			return fmt.Errorf("bench: record %d has n = %d", i, rec.N)
@@ -464,7 +483,7 @@ func (s *SweepSection) validate() error {
 		if c.Algo == "" {
 			return fmt.Errorf("bench: sweep cell %d missing algo", i)
 		}
-		if c.Engine != "exact" && c.Engine != "exact-dense" && c.Engine != "step" {
+		if !ValidEngine(c.Engine) {
 			return fmt.Errorf("bench: sweep cell %d has unknown engine %q", i, c.Engine)
 		}
 		if c.N <= 0 {

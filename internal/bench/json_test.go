@@ -289,7 +289,7 @@ func TestEngineModeParseError(t *testing.T) {
 	if err == nil {
 		t.Fatal("bad engine name accepted")
 	}
-	want := `unknown engine "warp" (valid: exact, exact-dense, step)`
+	want := `unknown engine "warp" (valid: dist, exact, exact-dense, step)`
 	if err.Error() != want {
 		t.Fatalf("ParseEngineMode error = %q, want %q", err.Error(), want)
 	}

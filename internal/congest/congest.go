@@ -218,6 +218,18 @@ func (c *Context) ObserveMemory(words int64) {
 // AddWork charges local computation to this node, for load-balance metrics.
 func (c *Context) AddWork(ops int64) { c.workOps += ops }
 
+// Runner executes a bound network: Reset binds a graph and one program per
+// vertex, RunContext runs the execution to completion. *Network is the
+// in-process implementation; the distributed engine (internal/dist) provides
+// one that partitions the vertex set across shard workers behind real
+// transports. Drivers program against this seam so a session can swap
+// execution engines without touching algorithm code — and the two
+// implementations are held byte-identical by differential tests.
+type Runner interface {
+	Reset(g *graph.Graph, nodes []Node, opts Options) error
+	RunContext(ctx context.Context, seed uint64) (*metrics.Counters, error)
+}
+
 // Options configures a Network.
 type Options struct {
 	// BandwidthBits is the per-edge per-direction per-round budget.
@@ -263,6 +275,8 @@ type Network struct {
 	arena *runState
 }
 
+var _ Runner = (*Network)(nil)
+
 // ctxCheckEvery is the engine's amortized checkpoint cadence: cancellation is
 // polled and Progress fired once per this many executed rounds, so the hot
 // loop pays one context poll per batch instead of per round and a run that is
@@ -291,17 +305,27 @@ func (n *Network) Reset(g *graph.Graph, nodes []Node, opts Options) error {
 		n.codec = wire.NewCodec(g.N())
 		n.arena = nil
 	}
+	n.g, n.nodes, n.opts = g, nodes, NormalizeOptions(opts, g.N())
+	return nil
+}
+
+// NormalizeOptions fills the size-derived defaults of opts for an n-vertex
+// network: the CONGEST bandwidth budget, the round watchdog, and the worker
+// floor. Network.Reset applies it; the distributed engine's coordinator and
+// shard workers call it too, so every execution engine derives identical
+// budgets from identical inputs — a precondition for byte-identical runs.
+func NormalizeOptions(opts Options, n int) Options {
+	codec := wire.NewCodec(n)
 	if opts.BandwidthBits == 0 {
-		opts.BandwidthBits = int64(8 * n.codec.IDBits)
+		opts.BandwidthBits = int64(8 * codec.IDBits)
 	}
 	if opts.MaxRounds == 0 {
-		opts.MaxRounds = 64*int64(g.N())*int64(n.codec.IDBits) + 1024
+		opts.MaxRounds = 64*int64(n)*int64(codec.IDBits) + 1024
 	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
-	n.g, n.nodes, n.opts = g, nodes, opts
-	return nil
+	return opts
 }
 
 // Codec returns the codec sizing messages for this network.

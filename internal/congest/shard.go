@@ -1,0 +1,282 @@
+package congest
+
+import (
+	"fmt"
+	"slices"
+
+	"dhc/internal/graph"
+	"dhc/internal/metrics"
+	"dhc/internal/rng"
+	"dhc/internal/wire"
+)
+
+// Routed is one routed message with explicit endpoints — the unit the
+// distributed engine moves between shards. It mirrors the engine-internal
+// routedMsg so transports can carry outbox concatenations without reaching
+// into the package.
+type Routed struct {
+	From, To graph.NodeID
+	Msg      wire.Message
+}
+
+// StepReport is a shard's post-step summary, the coordinator's input for
+// global liveness and scheduling decisions.
+type StepReport struct {
+	// Live is the shard's non-halted node count after the step.
+	Live int
+	// LegacyLive counts live nodes that never called a wake API. While any
+	// shard reports a nonzero LegacyLive the whole network must run dense —
+	// the same global rule Network applies via its single scheduler.
+	LegacyLive int
+}
+
+// DeliverReport is a shard's post-delivery summary: whether any local node
+// has a delivery pending for the next round, and the earliest scheduled
+// wake-up among local nodes (WakeOK false when none exists).
+type DeliverReport struct {
+	HasActive    bool
+	EarliestWake int64
+	WakeOK       bool
+}
+
+// Shard executes a contiguous vertex range [Lo, Hi) of a network, reusing
+// the exact per-round machinery of the in-process engine — the same active
+// set assembly, scheduler, merge loop and bucketed delivery — restricted to
+// local indices. The distributed engine composes K Shards behind transports;
+// because each piece of the round pipeline is the in-process code operating
+// on a partition of the same state, a distributed run is byte-identical to
+// an in-process run by construction, and the differential tests hold it
+// there.
+//
+// The split of one round across the coordinator protocol:
+//
+//	Step(r)    — build the local active set, invoke nodes, merge wake/halt
+//	             bookkeeping, return the local outbox (sender-ascending).
+//	Deliver(r) — accept the round's inbound messages (the coordinator
+//	             concatenates every shard's batch in shard order, which is
+//	             exactly the global sender-ascending order Network.deliver
+//	             consumes), meter bandwidth and fill inboxes.
+//
+// A Shard is not safe for concurrent use.
+type Shard struct {
+	net    *Network // carrier for Contexts: graph, codec, normalized opts
+	lo, hi int
+	nodes  []Node // local programs, indexed v-lo
+
+	halted    []bool
+	live      int
+	rngs      []*rng.Source
+	ctxs      []*Context
+	inboxes   [][]Envelope
+	msgActive []int32 // local indices
+	active    []int32
+	dueScr    []int32
+	inActive  []bool
+	sched     scheduler
+	counters  *metrics.Counters // full-length; only [lo,hi) per-node entries used
+	out       []Routed
+	bwStamp   []int64 // indexed by local receiver
+	bwBits    []int64
+	bwGen     int64
+}
+
+// NewShard builds the executor for nodes [lo, hi) of an n-vertex network.
+// local must hold exactly hi-lo programs; opts is normalized here, so the
+// caller may pass the same raw Options it would hand Network.Reset. Deliver
+// rejects FaultHook-bearing options up front: a delivery hook is a function
+// value the distributed engine cannot ship across a process boundary, and
+// silently dropping it would fake fault-free runs.
+func NewShard(g *graph.Graph, local []Node, opts Options, lo, hi int) (*Shard, error) {
+	n := g.N()
+	if lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("congest: shard range [%d,%d) invalid for %d vertices", lo, hi, n)
+	}
+	if len(local) != hi-lo {
+		return nil, fmt.Errorf("congest: %d node programs for shard range [%d,%d)", len(local), lo, hi)
+	}
+	if opts.FaultHook != nil {
+		return nil, fmt.Errorf("congest: FaultHook is not supported by sharded execution")
+	}
+	opts.Workers = 1 // shards are the parallelism; keep the per-shard loop sequential
+	carrier := &Network{g: g, codec: wire.NewCodec(n), opts: NormalizeOptions(opts, n)}
+	k := hi - lo
+	s := &Shard{
+		net:      carrier,
+		lo:       lo,
+		hi:       hi,
+		nodes:    local,
+		halted:   make([]bool, k),
+		live:     k,
+		rngs:     make([]*rng.Source, k),
+		ctxs:     make([]*Context, k),
+		inboxes:  make([][]Envelope, k),
+		inActive: make([]bool, k),
+		sched:    newScheduler(k),
+		counters: metrics.NewCounters(n),
+		bwStamp:  make([]int64, k),
+		bwBits:   make([]int64, k),
+	}
+	for v := 0; v < k; v++ {
+		s.rngs[v] = &rng.Source{}
+		s.ctxs[v] = &Context{net: carrier, id: graph.NodeID(lo + v), rng: s.rngs[v]}
+	}
+	return s, nil
+}
+
+// Seed derives the local nodes' RNG streams from the run seed. SplitInto
+// never advances the root source, so a shard deriving only its own range
+// produces streams identical to the in-process engine deriving all n.
+func (s *Shard) Seed(seed uint64) {
+	root := rng.New(seed)
+	for v := range s.rngs {
+		root.SplitInto(s.rngs[v], uint64(s.lo+v))
+	}
+}
+
+// Codec returns the codec sizing and encoding this network's messages.
+func (s *Shard) Codec() wire.Codec { return s.net.codec }
+
+// N returns the full network's vertex count.
+func (s *Shard) N() int { return s.net.g.N() }
+
+// Lo returns the first vertex of the shard's range.
+func (s *Shard) Lo() int { return s.lo }
+
+// Hi returns one past the last vertex of the shard's range.
+func (s *Shard) Hi() int { return s.hi }
+
+// Counters returns the shard's metering: the scalar message/invocation
+// totals it contributed plus the per-node entries of its range. The
+// coordinator merges shard counters into the run totals.
+func (s *Shard) Counters() *metrics.Counters { return s.counters }
+
+// Step executes round `round` (Init when isInit) for the shard's nodes and
+// returns the outbound messages in sender-ascending order. dense selects the
+// every-live-node sweep; it is a global property (Init round, DenseSweep, or
+// a legacy-dense node live anywhere in the network) that only the
+// coordinator can compute, mirroring Network's single-scheduler decision.
+// The returned slice is reused by the next Step.
+func (s *Shard) Step(round int64, isInit, dense bool) ([]Routed, StepReport, error) {
+	active := s.active[:0]
+	if isInit || dense {
+		for v := range s.nodes {
+			if !s.halted[v] {
+				active = append(active, int32(v))
+			}
+		}
+		if !isInit && !s.net.opts.DenseSweep {
+			due := s.sched.popDue(round, s.halted, s.inActive, s.dueScr[:0])
+			for _, v := range due {
+				s.inActive[v] = false
+			}
+			s.dueScr = due[:0]
+		}
+		s.msgActive = s.msgActive[:0]
+	} else {
+		for _, v := range s.msgActive {
+			s.inActive[v] = true
+			active = append(active, v)
+		}
+		s.msgActive = s.msgActive[:0]
+		active = s.sched.popDue(round, s.halted, s.inActive, active)
+		for _, v := range active {
+			s.inActive[v] = false
+		}
+		slices.Sort(active)
+	}
+	s.active = active
+
+	for _, v := range active {
+		ctx := s.ctxs[v]
+		ctx.reset(round)
+		if isInit {
+			s.nodes[v].Init(ctx)
+			continue
+		}
+		inbox := s.inboxes[v]
+		s.nodes[v].Round(ctx, inbox)
+		s.inboxes[v] = inbox[:0]
+	}
+
+	// Merge in local-id order — the same order the in-process merge loop
+	// visits this range, so error selection, halt bookkeeping and outbox
+	// concatenation are position-identical.
+	out := s.out[:0]
+	eventDriven := !s.net.opts.DenseSweep
+	rep := StepReport{}
+	for _, v := range active {
+		ctx := s.ctxs[v]
+		if ctx.err != nil {
+			s.out = out
+			rep.Live, rep.LegacyLive = s.live, s.sched.legacyLive
+			return nil, rep, ctx.err
+		}
+		s.counters.Invocations++
+		if ctx.halted {
+			s.halted[v] = true
+			s.live--
+			s.sched.noteHalt(v)
+		} else if eventDriven {
+			s.sched.noteInvocation(v, round, ctx)
+		}
+		if ctx.memWords > 0 {
+			s.counters.ObserveMemory(s.lo+int(v), ctx.memWords)
+		}
+		if ctx.workOps > 0 {
+			s.counters.AddWork(s.lo+int(v), ctx.workOps)
+		}
+		for i := range ctx.outbox {
+			rm := &ctx.outbox[i]
+			out = append(out, Routed{From: rm.from, To: rm.to, Msg: rm.msg})
+		}
+	}
+	s.out = out
+	rep.Live, rep.LegacyLive = s.live, s.sched.legacyLive
+	return out, rep, nil
+}
+
+// Deliver routes this round's inbound messages into next-round inbox
+// buckets, enforcing per-edge bandwidth with the same generation-stamped
+// accounting as Network.deliver. batch must be the concatenation of every
+// shard's outbound messages destined here, in shard order — globally
+// sender-ascending, so runs of equal From are contiguous and each run is one
+// bandwidth generation exactly as in-process delivery sees it.
+func (s *Shard) Deliver(round int64, batch []Routed) (DeliverReport, error) {
+	curFrom := graph.NodeID(-1)
+	for i := range batch {
+		rm := &batch[i]
+		lv := int(rm.To) - s.lo
+		if lv < 0 || lv >= s.hi-s.lo {
+			return s.deliverReport(), fmt.Errorf("congest: shard [%d,%d) received message for node %d", s.lo, s.hi, rm.To)
+		}
+		sz := s.net.codec.Bits(rm.Msg)
+		if rm.From != curFrom {
+			curFrom = rm.From
+			s.bwGen++
+		}
+		if s.bwStamp[lv] != s.bwGen {
+			s.bwStamp[lv] = s.bwGen
+			s.bwBits[lv] = 0
+		}
+		s.bwBits[lv] += sz
+		if s.bwBits[lv] > s.net.opts.BandwidthBits {
+			return s.deliverReport(), fmt.Errorf("%w: edge %d->%d carried %d bits in round %d (budget %d)",
+				ErrBandwidth, rm.From, rm.To, s.bwBits[lv], round, s.net.opts.BandwidthBits)
+		}
+		s.counters.AddMessage(sz)
+		if s.halted[lv] {
+			continue // metered, but a halted node consumes nothing
+		}
+		if len(s.inboxes[lv]) == 0 {
+			s.msgActive = append(s.msgActive, int32(lv))
+		}
+		s.inboxes[lv] = append(s.inboxes[lv], Envelope{From: rm.From, Msg: rm.Msg})
+	}
+	return s.deliverReport(), nil
+}
+
+func (s *Shard) deliverReport() DeliverReport {
+	rep := DeliverReport{HasActive: len(s.msgActive) > 0}
+	rep.EarliestWake, rep.WakeOK = s.sched.earliestWake(s.halted)
+	return rep
+}

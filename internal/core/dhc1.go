@@ -118,11 +118,16 @@ func RunDHC1(g *graph.Graph, seed uint64, opts DHC1Options, netOpts congest.Opti
 type DHC1Session struct {
 	progs []*dhc1Node
 	nodes []congest.Node
-	net   *congest.Network
+	net   congest.Runner
 }
 
 // NewDHC1Session returns an empty session; the first Run sizes it.
 func NewDHC1Session() *DHC1Session { return &DHC1Session{} }
+
+// SetRunner replaces the session's executor — the seam the distributed
+// engine injects its shard cluster through. A nil Runner restores the
+// default in-process Network on the next Run.
+func (sess *DHC1Session) SetRunner(r congest.Runner) { sess.net = r }
 
 // Run executes one DHC1 trial, honoring ctx at the simulator's amortized
 // cancellation checkpoint. A cancelled run returns ctx's error and leaves

@@ -145,11 +145,16 @@ func RunDHC2(g *graph.Graph, seed uint64, opts DHC2Options, netOpts congest.Opti
 type DHC2Session struct {
 	progs []*dhc2Node
 	nodes []congest.Node
-	net   *congest.Network
+	net   congest.Runner
 }
 
 // NewDHC2Session returns an empty session; the first Run sizes it.
 func NewDHC2Session() *DHC2Session { return &DHC2Session{} }
+
+// SetRunner replaces the session's executor — the seam the distributed
+// engine injects its shard cluster through. A nil Runner restores the
+// default in-process Network on the next Run.
+func (sess *DHC2Session) SetRunner(r congest.Runner) { sess.net = r }
 
 // Run executes one DHC2 trial, honoring ctx at the simulator's amortized
 // cancellation checkpoint. A cancelled run returns ctx's error and leaves

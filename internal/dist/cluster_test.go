@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dhc/internal/congest"
+	"dhc/internal/dra"
+	"dhc/internal/graph"
+	"dhc/internal/rng"
+	"dhc/internal/wire"
+)
+
+// runDRA drives one DRA trial through the cluster, exactly as the solver
+// injects it: the session binds the programs, the cluster executes them.
+func runDRA(ctx context.Context, cl *Cluster, n int) error {
+	g := graph.GNP(n, 0.5, rng.New(7))
+	sess := dra.NewSession()
+	sess.SetRunner(cl)
+	_, err := sess.Run(ctx, g, 1, dra.NodeOptions{}, congest.Options{BandwidthBits: 64})
+	return err
+}
+
+// TestCrashFaultClassified kills one worker mid-run and requires a classified
+// ErrShardDown within the step deadline — never a hang, never a nil error.
+func TestCrashFaultClassified(t *testing.T) {
+	for _, transport := range []string{TransportUnix, TransportTCP} {
+		t.Run(transport, func(t *testing.T) {
+			cl, err := NewCluster(Options{
+				Shards:      3,
+				Transport:   transport,
+				StepTimeout: 20 * time.Second,
+				Fault:       &FaultPlan{Shard: 1, Round: 2, Mode: "crash"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			err = runDRA(context.Background(), cl, 24)
+			if !errors.Is(err, ErrShardDown) {
+				t.Fatalf("crashed shard returned %v, want ErrShardDown", err)
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Fatalf("classification took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestHangFaultClassified stalls one worker instead of killing it: the step
+// timeout must convert the silence into ErrShardDown instead of waiting
+// forever on the round barrier.
+func TestHangFaultClassified(t *testing.T) {
+	cl, err := NewCluster(Options{
+		Shards:      3,
+		StepTimeout: 2 * time.Second,
+		Fault:       &FaultPlan{Shard: 2, Round: 1, Mode: "hang"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = runDRA(context.Background(), cl, 24)
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("hung shard returned %v, want ErrShardDown", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("classification took %v, want ~the 2s step timeout", elapsed)
+	}
+}
+
+// TestCancelBeatsHungShard cancels the run's context while a worker hangs
+// with a long step timeout still pending: the watchdog must surface the
+// context's verdict ("run canceled"), not the transport's.
+func TestCancelBeatsHungShard(t *testing.T) {
+	cl, err := NewCluster(Options{
+		Shards:      2,
+		StepTimeout: 60 * time.Second,
+		Fault:       &FaultPlan{Shard: 0, Round: 1, Mode: "hang"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	err = runDRA(ctx, cl, 24)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled run returned %v, want DeadlineExceeded in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "run canceled") {
+		t.Fatalf("canceled run rendered %q", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v, want ~the 1s context deadline", elapsed)
+	}
+}
+
+// TestProcBadBinary exercises the spawn-failure path of the process
+// transport: a missing hcshard binary must fail the run cleanly.
+func TestProcBadBinary(t *testing.T) {
+	cl, err := NewCluster(Options{
+		Shards:      2,
+		Transport:   TransportProc,
+		ShardBinary: "/nonexistent/hcshard-missing",
+		StepTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runDRA(context.Background(), cl, 24); err == nil || !strings.Contains(err.Error(), "start") {
+		t.Fatalf("missing binary returned %v", err)
+	}
+}
+
+// TestClusterOptionValidation pins the constructor's input checking.
+func TestClusterOptionValidation(t *testing.T) {
+	if _, err := NewCluster(Options{Shards: 0}); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+	if _, err := NewCluster(Options{Shards: 2, Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if _, err := NewCluster(Options{Shards: 2, StepTimeout: -time.Second}); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+	cl, err := NewCluster(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.opts.Transport != TransportUnix || cl.opts.StepTimeout != defaultStepTimeout {
+		t.Fatalf("defaults not applied: %+v", cl.opts)
+	}
+}
+
+// TestResetRejectsFaultHook: the in-process chaos hook cannot cross shard
+// boundaries, so sharded execution must refuse it rather than silently run
+// without faults.
+func TestResetRejectsFaultHook(t *testing.T) {
+	cl, err := NewCluster(Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GNP(8, 0.5, rng.New(1))
+	nodes := make([]congest.Node, g.N())
+	progs, err := BuildPrograms(congest.ProgramSpec{Algo: "dra", B: 4}, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(nodes, progs)
+	opts := congest.Options{
+		FaultHook: func(round int64, from, to graph.NodeID, m wire.Message) (wire.Message, bool) {
+			return m, true
+		},
+	}
+	if err := cl.Reset(g, nodes, opts); err == nil || !strings.Contains(err.Error(), "FaultHook") {
+		t.Fatalf("Reset with FaultHook returned %v", err)
+	}
+}

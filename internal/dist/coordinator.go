@@ -1,0 +1,310 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dhc/internal/congest"
+	"dhc/internal/metrics"
+	"dhc/internal/wire"
+)
+
+// ErrShardDown marks a transport-level failure: a shard died, its connection
+// broke, or it missed the per-exchange deadline. It matches no algorithm
+// sentinel, so dhc.Classify maps it to FailureError — a dead worker is an
+// infrastructure fault, not evidence about the instance.
+var ErrShardDown = errors.New("dist: shard connection lost")
+
+// link is the coordinator's handle to one shard worker.
+type link struct {
+	shard  int
+	lo, hi int
+	fc     *frameConn
+	enc    enc
+	// batch and inbound are reused per-round decode/route buffers.
+	batch   []congest.Routed
+	inbound []congest.Routed
+	// busyNanos arrives with the FINAL frame.
+	busyNanos int64
+	final     []byte
+}
+
+func (l *link) down(stage string, err error) error {
+	return fmt.Errorf("%w: shard %d (%s): %v", ErrShardDown, l.shard, stage, err)
+}
+
+// stepResult is one shard's decoded STEP reply.
+type stepResult struct {
+	err        error
+	live       int
+	legacyLive int
+	out        []congest.Routed
+}
+
+// coordinator drives the round loop over the shard links, replicating
+// congest.Network.RunContext's control flow — liveness check, round budget,
+// quiet-round skipping with charged accounting, amortized cancellation
+// polling — with the per-round work farmed out over the STEP/DELIVER
+// exchanges.
+type coordinator struct {
+	links    []*link
+	n        int
+	codec    wire.Codec
+	opts     congest.Options // normalized
+	counters *metrics.Counters
+	progress func(int64)
+
+	// aggregated state from the last completed round
+	totalLive  int
+	legacyLive int
+	hasActive  bool
+	wakeRound  int64
+	wakeOK     bool
+}
+
+func newCoordinator(links []*link, n int, opts congest.Options, progress func(int64)) *coordinator {
+	return &coordinator{
+		links:    links,
+		n:        n,
+		codec:    wire.NewCodec(n),
+		opts:     congest.NormalizeOptions(opts, n),
+		counters: metrics.NewCounters(n),
+		progress: progress,
+	}
+}
+
+// run executes the full protocol: BEGIN, the round loop, FINISH collection.
+// The returned counters always reflect at least the charged rounds; on a
+// clean run they are the complete merged metering.
+func (c *coordinator) run(ctx context.Context, seed uint64) (*metrics.Counters, error) {
+	for _, l := range c.links {
+		l.enc.b = l.enc.b[:0]
+		l.enc.u8(frameBegin)
+		l.enc.u64(seed)
+		if err := l.fc.send(l.enc.b); err != nil {
+			return c.counters, l.down("begin", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return c.counters, fmt.Errorf("congest: run canceled before round 0: %w", err)
+	}
+	// Init phase (round 0) runs dense by definition.
+	if err := c.stepRound(0, true, true); err != nil {
+		return c.counters, err
+	}
+	sinceCheck := 0
+	for round := int64(1); ; round++ {
+		if c.totalLive == 0 {
+			return c.counters, c.finish()
+		}
+		if round > c.opts.MaxRounds {
+			return c.counters, fmt.Errorf("%w: %d rounds", congest.ErrRoundLimit, c.opts.MaxRounds)
+		}
+		if !c.opts.DenseSweep {
+			next, ok := c.nextActiveRound(round)
+			if !ok || next > c.opts.MaxRounds {
+				// Charge the quiet tail exactly like the in-process engine:
+				// the dense sweep would spin to the limit, so accounting does.
+				c.counters.Rounds += c.opts.MaxRounds - round + 1
+				c.counters.RoundsSkipped += c.opts.MaxRounds - round + 1
+				return c.counters, fmt.Errorf("%w: %d rounds", congest.ErrRoundLimit, c.opts.MaxRounds)
+			}
+			c.counters.Rounds += next - round + 1
+			c.counters.RoundsSkipped += next - round
+			round = next
+		} else {
+			c.counters.Rounds++
+		}
+		if sinceCheck++; sinceCheck >= 64 {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return c.counters, fmt.Errorf("congest: run canceled in round %d: %w", round, err)
+			}
+			if c.progress != nil {
+				c.progress(c.counters.Rounds)
+			}
+		}
+		dense := c.opts.DenseSweep || c.legacyLive > 0
+		if err := c.stepRound(round, false, dense); err != nil {
+			return c.counters, err
+		}
+	}
+}
+
+// nextActiveRound mirrors runState.nextActiveRound over the aggregated shard
+// reports: the round itself while messages are in flight or a legacy-dense
+// node is live anywhere, else the earliest wake-up across every shard's
+// schedule.
+func (c *coordinator) nextActiveRound(round int64) (int64, bool) {
+	if c.hasActive || c.legacyLive > 0 {
+		return round, true
+	}
+	if !c.wakeOK {
+		return 0, false
+	}
+	w := c.wakeRound
+	if w < round {
+		w = round
+	}
+	return w, true
+}
+
+// stepRound executes one round across every shard: STEP fan-out, reply
+// aggregation, destination routing, DELIVER fan-out, report aggregation.
+func (c *coordinator) stepRound(round int64, isInit, dense bool) error {
+	var flags byte
+	if isInit {
+		flags |= stepFlagInit
+	}
+	if dense {
+		flags |= stepFlagDense
+	}
+	for _, l := range c.links {
+		l.enc.b = l.enc.b[:0]
+		l.enc.u8(frameStep)
+		l.enc.i64(round)
+		l.enc.u8(flags)
+		if err := l.fc.send(l.enc.b); err != nil {
+			return l.down("step send", err)
+		}
+	}
+	results := make([]stepResult, len(c.links))
+	c.totalLive, c.legacyLive = 0, 0
+	for i, l := range c.links {
+		payload, err := l.fc.recv()
+		if err != nil {
+			return l.down("step reply", err)
+		}
+		d := dec{b: payload}
+		if tag := d.u8(); tag != frameStepRes {
+			return l.down("step reply", fmt.Errorf("unexpected frame %d", tag))
+		}
+		code := d.u8()
+		msg := d.str()
+		results[i].err = errFromCode(code, msg)
+		results[i].live = int(d.u32())
+		results[i].legacyLive = int(d.u32())
+		l.batch, err = decodeBatch(&d, c.codec, c.n, l.batch)
+		if err != nil {
+			return l.down("step reply", err)
+		}
+		results[i].out = l.batch
+		c.totalLive += results[i].live
+		c.legacyLive += results[i].legacyLive
+	}
+	// A step error aborts before delivery, exactly like the in-process merge
+	// loop. Shard ranges are contiguous and ascending and each shard reports
+	// its first error in local node order, so the lowest erroring shard's
+	// error IS the globally first one.
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+
+	// Route: split each source batch by destination shard and concatenate
+	// per destination in source-shard order. Each source batch is
+	// sender-ascending and the shard ranges partition the id space in order,
+	// so every destination sees its messages globally sender-ascending —
+	// the exact order congest.deliver consumes in process.
+	for _, dst := range c.links {
+		dst.inbound = dst.inbound[:0]
+	}
+	for _, r := range results {
+		for _, m := range r.out {
+			dst := c.links[c.shardOf(int(m.To))]
+			dst.inbound = append(dst.inbound, m)
+		}
+	}
+	for _, l := range c.links {
+		l.enc.b = l.enc.b[:0]
+		l.enc.u8(frameDeliver)
+		l.enc.i64(round)
+		l.enc.b = appendBatch(l.enc.b, c.codec, l.inbound)
+		if err := l.fc.send(l.enc.b); err != nil {
+			return l.down("deliver send", err)
+		}
+	}
+	c.hasActive, c.wakeOK = false, false
+	c.wakeRound = 0
+	var deliverErr error
+	for _, l := range c.links {
+		payload, err := l.fc.recv()
+		if err != nil {
+			return l.down("deliver reply", err)
+		}
+		d := dec{b: payload}
+		if tag := d.u8(); tag != frameDeliverRes {
+			return l.down("deliver reply", fmt.Errorf("unexpected frame %d", tag))
+		}
+		code := d.u8()
+		msg := d.str()
+		if err := errFromCode(code, msg); err != nil && deliverErr == nil {
+			deliverErr = err
+		}
+		hasActive := d.bool()
+		wakeOK := d.bool()
+		wake := d.i64()
+		if d.err != nil {
+			return l.down("deliver reply", d.err)
+		}
+		if hasActive {
+			c.hasActive = true
+		}
+		if wakeOK && (!c.wakeOK || wake < c.wakeRound) {
+			c.wakeOK = true
+			c.wakeRound = wake
+		}
+	}
+	return deliverErr
+}
+
+// shardOf maps a vertex to its shard index. Ranges are the contiguous
+// near-equal partition lo(i) = i*n/K.
+func (c *coordinator) shardOf(v int) int {
+	k := len(c.links)
+	i := v * k / c.n
+	// i*n/K rounds down, so the estimate can be off by one in either
+	// direction near a boundary; correct locally.
+	for i < k-1 && v >= c.links[i+1].lo {
+		i++
+	}
+	for i > 0 && v < c.links[i].lo {
+		i--
+	}
+	return i
+}
+
+// finish collects every shard's FINAL frame and merges the metering into the
+// coordinator's counters.
+func (c *coordinator) finish() error {
+	for _, l := range c.links {
+		l.enc.b = l.enc.b[:0]
+		l.enc.u8(frameFinish)
+		if err := l.fc.send(l.enc.b); err != nil {
+			return l.down("finish", err)
+		}
+	}
+	for _, l := range c.links {
+		payload, err := l.fc.recv()
+		if err != nil {
+			return l.down("final", err)
+		}
+		d := dec{b: payload}
+		if tag := d.u8(); tag != frameFinal {
+			return l.down("final", fmt.Errorf("unexpected frame %d", tag))
+		}
+		if err := decodeCounters(&d, c.counters, l.lo, l.hi); err != nil {
+			return l.down("final", err)
+		}
+		l.busyNanos = d.i64()
+		final := d.lenPrefixed()
+		if d.err != nil {
+			return l.down("final", d.err)
+		}
+		// Copy: the frame buffer is reused by the next recv.
+		l.final = append([]byte(nil), final...)
+	}
+	return nil
+}

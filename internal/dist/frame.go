@@ -1,0 +1,323 @@
+// Package dist runs the exact CONGEST engine across real transport
+// boundaries: the vertex set is partitioned into K contiguous shards, each
+// executed by its own worker — a goroutine behind a unix-domain or TCP
+// loopback socket, or a separate OS process running cmd/hcshard — while a
+// hub coordinator drives the synchronous round loop over length-prefixed
+// frames.
+//
+// The design goal is byte-identity with the in-process engine, and the
+// mechanism is structural: each shard runs congest.Shard — the in-process
+// round machinery restricted to a vertex range — and the coordinator
+// replicates congest.Network's round loop (round skipping, budget charging,
+// the dense/legacy global rule) over two exchanges per executed round:
+//
+//	STEP(r):    every shard builds its local active set, invokes its nodes,
+//	            and returns its outbound messages in sender-ascending order.
+//	DELIVER(r): the coordinator routes each shard's batch by destination
+//	            range and concatenates the per-destination pieces in shard
+//	            order — which is exactly the global sender-ascending order
+//	            the in-process deliver consumes — then every shard meters
+//	            bandwidth and fills its inboxes.
+//
+// The round-barrier handshake is the frame protocol itself: a round's
+// DELIVER frames are sent only after every shard's STEP reply arrived, so no
+// shard can observe round r+1 before round r is globally complete.
+//
+// The in-process engine remains the oracle: differential tests solve the
+// same instances both ways and assert byte-identical results and counters.
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dhc/internal/congest"
+	"dhc/internal/graph"
+	"dhc/internal/wire"
+)
+
+// Frame types. Every frame on the wire is a 4-byte big-endian payload length
+// followed by the payload, whose first byte is one of these tags.
+const (
+	frameHello     byte = 1  // worker -> coordinator: u32 shard index
+	frameConfig    byte = 2  // coordinator -> proc worker: run configuration + graph
+	frameBegin     byte = 3  // coordinator -> worker: u64 seed
+	frameStep      byte = 4  // coordinator -> worker: i64 round, u8 flags
+	frameStepRes   byte = 5  // worker -> coordinator: err, live, legacyLive, routed batch
+	frameDeliver   byte = 6  // coordinator -> worker: i64 round, routed batch
+	frameDeliverRes byte = 7 // worker -> coordinator: err, hasActive, wake
+	frameFinish    byte = 8  // coordinator -> worker: collect results
+	frameFinal     byte = 9  // worker -> coordinator: counters + final program states
+	frameAbort     byte = 10 // coordinator -> worker: tear down
+)
+
+// Step flag bits.
+const (
+	stepFlagInit  byte = 1 << 0
+	stepFlagDense byte = 1 << 1
+)
+
+// maxFramePayload bounds a single frame. A round's batch for one shard is at
+// most n * bandwidth messages in theory; 64 MiB is far above anything a
+// sane instance produces and small enough that a corrupt length prefix
+// cannot drive a multi-gigabyte allocation.
+const maxFramePayload = 64 << 20
+
+// Wire error codes: congest sentinels must survive the process boundary so
+// errors.Is keeps working on the coordinator side.
+const (
+	errCodeNone        byte = 0
+	errCodeNotNeighbor byte = 1
+	errCodeBandwidth   byte = 2
+	errCodeOther       byte = 3
+)
+
+func errToCode(err error) (byte, string) {
+	switch {
+	case err == nil:
+		return errCodeNone, ""
+	case errors.Is(err, congest.ErrNotNeighbor):
+		return errCodeNotNeighbor, err.Error()
+	case errors.Is(err, congest.ErrBandwidth):
+		return errCodeBandwidth, err.Error()
+	default:
+		return errCodeOther, err.Error()
+	}
+}
+
+// errFromCode reconstructs a shard-side error. The sentinel identity is
+// restored exactly; the message text is carried verbatim.
+func errFromCode(code byte, msg string) error {
+	switch code {
+	case errCodeNone:
+		return nil
+	case errCodeNotNeighbor:
+		return fmt.Errorf("%w%s", congest.ErrNotNeighbor, trimSentinel(msg, congest.ErrNotNeighbor.Error()))
+	case errCodeBandwidth:
+		return fmt.Errorf("%w%s", congest.ErrBandwidth, trimSentinel(msg, congest.ErrBandwidth.Error()))
+	default:
+		return errors.New(msg)
+	}
+}
+
+// trimSentinel drops the sentinel prefix from a carried message so the
+// reconstructed error renders identically to the original instead of
+// repeating the prefix.
+func trimSentinel(msg, prefix string) string {
+	if len(msg) >= len(prefix) && msg[:len(prefix)] == prefix {
+		return msg[len(prefix):]
+	}
+	return ": " + msg
+}
+
+// frameConn frames payloads over a byte stream and meters traffic in both
+// directions. Reads go through a bufio.Reader; the receive buffer is reused,
+// so a received payload is valid only until the next recv.
+type frameConn struct {
+	rw       io.ReadWriter
+	nc       net.Conn // non-nil when deadlines are available
+	br       *bufio.Reader
+	rbuf     []byte
+	wbuf     []byte
+	hdr      [4]byte
+	bytesIn  int64
+	bytesOut int64
+	timeout  time.Duration // per-recv read deadline; 0 = none
+}
+
+func newFrameConn(rw io.ReadWriter) *frameConn {
+	fc := &frameConn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16)}
+	if nc, ok := rw.(net.Conn); ok {
+		fc.nc = nc
+	}
+	return fc
+}
+
+// send writes one length-prefixed frame.
+func (c *frameConn) send(payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("dist: frame payload %d exceeds limit %d", len(payload), maxFramePayload)
+	}
+	binary.BigEndian.PutUint32(c.hdr[:], uint32(len(payload)))
+	if _, err := c.rw.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return err
+	}
+	c.bytesOut += int64(4 + len(payload))
+	return nil
+}
+
+// recv reads one frame into the reused receive buffer. A zero-length or
+// oversized frame is a protocol error, never a hang or a giant allocation.
+func (c *frameConn) recv() ([]byte, error) {
+	if c.nc != nil && c.timeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dist: empty frame")
+	}
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("dist: frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	buf := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return nil, err
+	}
+	c.bytesIn += int64(4 + n)
+	return buf, nil
+}
+
+// enc builds frame payloads in a reusable buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)      { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)   { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)   { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)    { e.u64(uint64(v)) }
+func (e *enc) i32(v int32)    { e.u32(uint32(v)) }
+func (e *enc) bytes(p []byte) { e.u32(uint32(len(p))); e.b = append(e.b, p...) }
+func (e *enc) str(s string)   { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// dec consumes a frame payload with sticky error handling: the first short
+// read poisons the decoder, so call sites chain reads and check err once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("dist: truncated frame")
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+// lenPrefixed reads a u32 length-prefixed byte section, bounding it by the
+// remaining payload so a corrupt length cannot allocate beyond the frame.
+func (d *dec) lenPrefixed() []byte {
+	n := d.u32()
+	if d.err != nil || uint64(n) > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.lenPrefixed()) }
+
+// appendRouted appends one routed message record: sender, receiver, then the
+// message in the internal/wire codec's byte form (kind, arg count, 4-byte
+// big-endian args).
+func appendRouted(dst []byte, codec wire.Codec, r congest.Routed) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.From))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.To))
+	return codec.AppendEncode(dst, r.Msg)
+}
+
+// appendBatch appends a u32 count followed by the routed records.
+func appendBatch(dst []byte, codec wire.Codec, batch []congest.Routed) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(batch)))
+	for i := range batch {
+		dst = appendRouted(dst, codec, batch[i])
+	}
+	return dst
+}
+
+// decodeBatch parses an appendBatch section, validating every message with
+// the wire codec and every endpoint against the vertex count. dst is reused;
+// the returned slice is valid until the caller's next decode.
+func decodeBatch(d *dec, codec wire.Codec, n int, dst []congest.Routed) ([]congest.Routed, error) {
+	count := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Each record is at least 4+4+2 bytes; a count beyond that bound is a
+	// corrupt frame, rejected before any allocation proportional to it.
+	if uint64(count)*10 > uint64(len(d.b)) {
+		return nil, fmt.Errorf("dist: batch count %d exceeds frame capacity", count)
+	}
+	dst = dst[:0]
+	for i := uint32(0); i < count; i++ {
+		from := graph.NodeID(d.u32())
+		to := graph.NodeID(d.u32())
+		kindOff := d.b
+		if d.err != nil || len(kindOff) < 2 {
+			d.fail()
+			return nil, d.err
+		}
+		nargs := int(kindOff[1])
+		recLen := 2 + 4*nargs
+		if nargs > 4 || len(kindOff) < recLen {
+			return nil, fmt.Errorf("dist: corrupt message record (nargs %d, %d bytes left)", nargs, len(kindOff))
+		}
+		msg, err := codec.Decode(kindOff[:recLen])
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		d.b = d.b[recLen:]
+		if int(from) < 0 || int(from) >= n || int(to) < 0 || int(to) >= n {
+			return nil, fmt.Errorf("dist: message endpoints %d->%d outside %d-vertex graph", from, to, n)
+		}
+		dst = append(dst, congest.Routed{From: from, To: to, Msg: msg})
+	}
+	return dst, nil
+}

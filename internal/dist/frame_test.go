@@ -1,0 +1,273 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dhc/internal/congest"
+	"dhc/internal/graph"
+	"dhc/internal/wire"
+)
+
+// readOnlyStream adapts a byte slice to io.ReadWriter for decode-side tests.
+type readOnlyStream struct{ *bytes.Reader }
+
+func (readOnlyStream) Write(p []byte) (int, error) { return len(p), nil }
+
+func streamOf(raw []byte) readOnlyStream { return readOnlyStream{bytes.NewReader(raw)} }
+
+// TestFrameConnRoundTrip pushes several frames through a frameConn pair over
+// one byte stream and checks payloads and traffic metering.
+func TestFrameConnRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fc := newFrameConn(&buf)
+	payloads := [][]byte{{1}, {2, 3, 4}, bytes.Repeat([]byte{7}, 70000)}
+	var want int64
+	for _, p := range payloads {
+		if err := fc.send(p); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		want += int64(4 + len(p))
+	}
+	if fc.bytesOut != want {
+		t.Fatalf("bytesOut = %d, want %d", fc.bytesOut, want)
+	}
+	for i, p := range payloads {
+		got, err := fc.recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("recv %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+	if fc.bytesIn != want {
+		t.Fatalf("bytesIn = %d, want %d", fc.bytesIn, want)
+	}
+}
+
+// TestFrameConnRejectsCorruptLengths covers the three corrupt-prefix cases:
+// an empty frame, an oversized length, and a truncated payload. None may
+// allocate proportionally to the claimed length or succeed.
+func TestFrameConnRejectsCorruptLengths(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     []byte
+		wantSub string
+	}{
+		{"empty", []byte{0, 0, 0, 0}, "empty frame"},
+		{"oversized", []byte{0xFF, 0xFF, 0xFF, 0xFF}, "exceeds limit"},
+		{"truncated-header", []byte{0, 0}, "EOF"},
+		{"truncated-payload", []byte{0, 0, 0, 10, 1, 2, 3}, "EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := newFrameConn(streamOf(tc.raw))
+			if _, err := fc.recv(); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("recv = %v, want error containing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// randomBatch builds a deterministic pseudo-random routed batch with valid
+// kinds, arg counts and endpoints for an n-vertex network.
+func randomBatch(r *rand.Rand, n, size int) []congest.Routed {
+	kinds := []wire.Kind{
+		wire.KindProgress, wire.KindRotation, wire.KindSuccess,
+		wire.KindBroadcast, wire.KindToken, wire.KindColor,
+	}
+	batch := make([]congest.Routed, size)
+	for i := range batch {
+		args := make([]int32, r.Intn(5))
+		for j := range args {
+			args[j] = int32(r.Intn(n))
+		}
+		batch[i] = congest.Routed{
+			From: graph.NodeID(r.Intn(n)),
+			To:   graph.NodeID(r.Intn(n)),
+			Msg:  wire.Msg(kinds[r.Intn(len(kinds))], args...),
+		}
+	}
+	return batch
+}
+
+// TestBatchRoundTrip encodes random batches and decodes them back verbatim.
+func TestBatchRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	codec := wire.NewCodec(512)
+	for trial := 0; trial < 50; trial++ {
+		batch := randomBatch(r, 512, r.Intn(40))
+		enc := appendBatch(nil, codec, batch)
+		d := dec{b: enc}
+		got, err := decodeBatch(&d, codec, 512, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(got), len(batch))
+		}
+		for i := range got {
+			if got[i] != batch[i] {
+				t.Fatalf("trial %d record %d: %+v != %+v", trial, i, got[i], batch[i])
+			}
+		}
+		if len(d.b) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(d.b))
+		}
+	}
+}
+
+// TestBatchTruncationAlwaysErrors is the truncation property: every strict
+// prefix of a valid batch encoding must decode to an error — never a panic,
+// never a silently shortened batch.
+func TestBatchTruncationAlwaysErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	codec := wire.NewCodec(128)
+	full := appendBatch(nil, codec, randomBatch(r, 128, 12))
+	for cut := 0; cut < len(full); cut++ {
+		d := dec{b: full[:cut]}
+		if _, err := decodeBatch(&d, codec, 128, nil); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestBatchInterleaved decodes several shards' batch sections written
+// back-to-back in one payload — the coordinator's DELIVER layout — and checks
+// that each section decodes to exactly its own records and that shard-order
+// concatenation preserves the global sender-ascending order the in-process
+// deliver consumes.
+func TestBatchInterleaved(t *testing.T) {
+	const n, shards = 120, 4
+	codec := wire.NewCodec(n)
+	r := rand.New(rand.NewSource(99))
+	var payload []byte
+	var want []congest.Routed
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		batch := randomBatch(r, n, 10)
+		// Senders confined to the shard's range, ascending, as Step emits.
+		for i := range batch {
+			batch[i].From = graph.NodeID(lo + i*(hi-lo)/len(batch))
+		}
+		payload = appendBatch(payload, codec, batch)
+		want = append(want, batch...)
+	}
+	d := dec{b: payload}
+	var got []congest.Routed
+	for s := 0; s < shards; s++ {
+		part, err := decodeBatch(&d, codec, n, nil)
+		if err != nil {
+			t.Fatalf("section %d: %v", s, err)
+		}
+		got = append(got, part...)
+	}
+	if len(d.b) != 0 {
+		t.Fatalf("%d trailing bytes after %d sections", len(d.b), shards)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].From < got[i-1].From {
+			t.Fatalf("sender order violated at %d: %d after %d", i, got[i].From, got[i-1].From)
+		}
+	}
+}
+
+// TestDecodeBatchRejectsCorruptRecords covers the decoder's validation: a
+// lying count, an impossible arg count, an unknown message kind, and
+// out-of-range endpoints.
+func TestDecodeBatchRejectsCorruptRecords(t *testing.T) {
+	codec := wire.NewCodec(16)
+	valid := func() []byte {
+		return appendBatch(nil, codec, []congest.Routed{
+			{From: 1, To: 2, Msg: wire.Msg(wire.KindToken, 3)},
+		})
+	}
+	t.Run("count-beyond-capacity", func(t *testing.T) {
+		enc := valid()
+		enc[0], enc[1], enc[2], enc[3] = 0x7F, 0xFF, 0xFF, 0xFF
+		d := dec{b: enc}
+		if _, err := decodeBatch(&d, codec, 16, nil); err == nil || !strings.Contains(err.Error(), "exceeds frame capacity") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("nargs-too-large", func(t *testing.T) {
+		enc := valid()
+		enc[4+4+4+1] = 9 // arg-count byte of the first record
+		d := dec{b: enc}
+		if _, err := decodeBatch(&d, codec, 16, nil); err == nil || !strings.Contains(err.Error(), "corrupt message record") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("unknown-kind", func(t *testing.T) {
+		enc := valid()
+		enc[4+4+4] = 0xEE // kind byte of the first record
+		d := dec{b: enc}
+		if _, err := decodeBatch(&d, codec, 16, nil); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("endpoint-out-of-range", func(t *testing.T) {
+		enc := appendBatch(nil, codec, []congest.Routed{
+			{From: 1, To: 15, Msg: wire.Msg(wire.KindToken, 3)},
+		})
+		d := dec{b: enc}
+		if _, err := decodeBatch(&d, codec, 8, nil); err == nil || !strings.Contains(err.Error(), "outside") {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBatch feeds arbitrary bytes to the batch decoder. The invariants:
+// no panic, and any successful decode yields only in-range endpoints and
+// messages the codec itself validates.
+func FuzzDecodeBatch(f *testing.F) {
+	codec := wire.NewCodec(64)
+	r := rand.New(rand.NewSource(3))
+	f.Add([]byte{})
+	f.Add(appendBatch(nil, codec, randomBatch(r, 64, 5)))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 2, 3, 1, 0, 0, 0, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := dec{b: data}
+		batch, err := decodeBatch(&d, codec, 64, nil)
+		if err != nil {
+			return
+		}
+		for i, rec := range batch {
+			if rec.From < 0 || int(rec.From) >= 64 || rec.To < 0 || int(rec.To) >= 64 {
+				t.Fatalf("record %d has out-of-range endpoints %d->%d", i, rec.From, rec.To)
+			}
+			if rec.Msg.NArgs > 4 {
+				t.Fatalf("record %d has %d args", i, rec.Msg.NArgs)
+			}
+		}
+	})
+}
+
+// FuzzFrameRecv feeds an arbitrary byte stream to the frame reader: it must
+// terminate (no hang on a finite stream), never panic, and never hand back a
+// payload beyond the frame bound.
+func FuzzFrameRecv(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := newFrameConn(streamOf(data))
+		for {
+			payload, err := fc.recv()
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 || len(payload) > maxFramePayload {
+				t.Fatalf("recv returned %d-byte payload", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"dhc/internal/congest"
+	"dhc/internal/metrics"
+)
+
+// FaultPlan injects a shard failure for chaos and classification tests: at
+// the STEP frame for round Round, the selected shard either crashes (drops
+// its connection) or hangs (stops replying until torn down). The coordinator
+// must turn either into a classified error within its deadline — never a
+// hang, never a corrupt partial round.
+type FaultPlan struct {
+	Shard int
+	Round int64
+	// Mode is "crash" or "hang".
+	Mode string
+}
+
+// errFaultCrash is the worker-local error a planned crash returns; the
+// coordinator only ever observes the closed connection.
+var errFaultCrash = errors.New("dist: fault injection: crash")
+
+// ServeOptions configures one worker's serve loop.
+type ServeOptions struct {
+	// FinalState, if non-nil, serializes the shard's program states for the
+	// FINAL frame (proc transport; goroutine workers share memory and leave
+	// it nil).
+	FinalState func() []byte
+	// Fault, if non-nil, is this worker's injected failure (the caller has
+	// already matched the shard index).
+	Fault *FaultPlan
+	// Unblock, if non-nil, releases a hanging worker at teardown so
+	// goroutine-mode tests do not leak a goroutine per injected hang.
+	Unblock <-chan struct{}
+}
+
+// ServeShard drives one shard over a frame connection until FINISH or ABORT:
+// the worker half of the coordinator protocol, shared by goroutine workers
+// and the hcshard process. It reports the shard's busy time (time spent
+// inside Step/Deliver, as opposed to blocked on the barrier) in the FINAL
+// frame.
+func ServeShard(rw io.ReadWriter, shard *congest.Shard, opts ServeOptions) error {
+	return serveFrames(newFrameConn(rw), shard, opts)
+}
+
+// serveFrames is ServeShard over an existing frame connection, for workers
+// that already consumed handshake frames through it (a fresh frameConn would
+// miss payloads sitting in the old one's read buffer).
+func serveFrames(fc *frameConn, shard *congest.Shard, opts ServeOptions) error {
+	var (
+		e       enc
+		batch   []congest.Routed
+		busy    time.Duration
+		stepErr error // sticky: a step/deliver error is reported, then the loop idles until ABORT
+	)
+	for {
+		payload, err := fc.recv()
+		if err != nil {
+			return err
+		}
+		d := dec{b: payload}
+		switch tag := d.u8(); tag {
+		case frameBegin:
+			seed := d.u64()
+			if d.err != nil {
+				return d.err
+			}
+			shard.Seed(seed)
+		case frameStep:
+			round := d.i64()
+			flags := d.u8()
+			if d.err != nil {
+				return d.err
+			}
+			if f := opts.Fault; f != nil && round >= f.Round {
+				switch f.Mode {
+				case "hang":
+					if opts.Unblock != nil {
+						<-opts.Unblock
+					} else {
+						select {}
+					}
+					return errFaultCrash
+				default:
+					return errFaultCrash // the deferred conn close is the crash
+				}
+			}
+			var (
+				out []congest.Routed
+				rep congest.StepReport
+			)
+			if stepErr == nil {
+				start := time.Now()
+				out, rep, stepErr = shard.Step(round, flags&stepFlagInit != 0, flags&stepFlagDense != 0)
+				busy += time.Since(start)
+			}
+			e.b = e.b[:0]
+			e.u8(frameStepRes)
+			code, msg := errToCode(stepErr)
+			e.u8(code)
+			e.str(msg)
+			e.u32(uint32(rep.Live))
+			e.u32(uint32(rep.LegacyLive))
+			e.b = appendBatch(e.b, shard.Codec(), out)
+			if err := fc.send(e.b); err != nil {
+				return err
+			}
+		case frameDeliver:
+			round := d.i64()
+			if d.err != nil {
+				return d.err
+			}
+			var rep congest.DeliverReport
+			if stepErr == nil {
+				var derr error
+				batch, derr = decodeBatch(&d, shard.Codec(), shard.N(), batch)
+				if derr != nil {
+					return derr
+				}
+				start := time.Now()
+				rep, stepErr = shard.Deliver(round, batch)
+				busy += time.Since(start)
+			}
+			e.b = e.b[:0]
+			e.u8(frameDeliverRes)
+			code, msg := errToCode(stepErr)
+			e.u8(code)
+			e.str(msg)
+			e.bool(rep.HasActive)
+			e.bool(rep.WakeOK)
+			e.i64(rep.EarliestWake)
+			if err := fc.send(e.b); err != nil {
+				return err
+			}
+		case frameFinish:
+			e.b = e.b[:0]
+			e.u8(frameFinal)
+			appendCounters(&e, shard.Counters(), shard.Lo(), shard.Hi())
+			e.i64(int64(busy))
+			var final []byte
+			if opts.FinalState != nil {
+				final = opts.FinalState()
+			}
+			e.bytes(final)
+			if err := fc.send(e.b); err != nil {
+				return err
+			}
+			return nil
+		case frameAbort:
+			return nil
+		default:
+			return fmt.Errorf("dist: worker received unexpected frame %d", tag)
+		}
+	}
+}
+
+// appendCounters serializes a shard's metering: the scalar totals plus the
+// per-node slices of its range.
+func appendCounters(e *enc, c *metrics.Counters, lo, hi int) {
+	e.i64(c.Invocations)
+	e.i64(c.Steps)
+	e.i64(c.Messages)
+	e.i64(c.Bits)
+	e.i64(c.MaxMessageBits)
+	mem, work := c.PerNodeRange(lo, hi)
+	e.u32(uint32(hi - lo))
+	for _, v := range mem {
+		e.i64(v)
+	}
+	for _, v := range work {
+		e.i64(v)
+	}
+}
+
+// decodeCounters merges a FINAL frame's counter section into dst.
+func decodeCounters(d *dec, dst *metrics.Counters, lo, hi int) error {
+	dst.Invocations += d.i64()
+	dst.Steps += d.i64()
+	dst.Messages += d.i64()
+	dst.Bits += d.i64()
+	if mb := d.i64(); mb > dst.MaxMessageBits {
+		dst.MaxMessageBits = mb
+	}
+	k := int(d.u32())
+	if d.err != nil {
+		return d.err
+	}
+	if k != hi-lo {
+		return fmt.Errorf("dist: shard reported %d per-node entries for range [%d,%d)", k, lo, hi)
+	}
+	mem := make([]int64, k)
+	work := make([]int64, k)
+	for i := range mem {
+		mem[i] = d.i64()
+	}
+	for i := range work {
+		work[i] = d.i64()
+	}
+	if d.err != nil {
+		return d.err
+	}
+	dst.SetPerNodeRange(lo, mem, work)
+	return nil
+}

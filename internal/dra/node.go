@@ -2,6 +2,7 @@ package dra
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -103,11 +104,16 @@ func Run(g *graph.Graph, seed uint64, opts NodeOptions, netOpts congest.Options)
 type Session struct {
 	progs []*Node
 	nodes []congest.Node
-	net   *congest.Network
+	net   congest.Runner
 }
 
 // NewSession returns an empty session; the first Run sizes it.
 func NewSession() *Session { return &Session{} }
+
+// SetRunner replaces the session's executor — the seam the distributed
+// engine injects its shard cluster through. A nil Runner restores the
+// default in-process Network on the next Run.
+func (sess *Session) SetRunner(r congest.Runner) { sess.net = r }
 
 // Run executes one DRA trial, honoring ctx at the simulator's amortized
 // cancellation checkpoint. A cancelled run returns ctx's error and leaves
@@ -171,6 +177,46 @@ func (sess *Session) resetNet(g *graph.Graph, netOpts congest.Options) error {
 		sess.net = new(congest.Network)
 	}
 	return sess.net.Reset(g, sess.nodes, netOpts)
+}
+
+// NewNode constructs a standalone program for one vertex — the reconstruction
+// entry point worker processes use to rebuild a session's programs from a
+// ProgramSpec. opts must carry a resolved BroadcastRounds (the driver session
+// computes it from an eccentricity BFS before binding).
+func NewNode(opts NodeOptions) *Node { return &Node{opts: opts} }
+
+var _ congest.PortableProgram = (*Node)(nil)
+
+// DistSpec implements congest.PortableProgram.
+func (d *Node) DistSpec() congest.ProgramSpec {
+	return congest.ProgramSpec{Algo: "dra", B: d.opts.BroadcastRounds, MaxSteps: d.opts.MaxSteps}
+}
+
+// AppendFinal implements congest.PortableProgram: status, step count, and the
+// two cycle pointers — exactly what ExtractCycle consumes.
+func (d *Node) AppendFinal(dst []byte) []byte {
+	st := d.state
+	if st == nil {
+		st = &State{}
+	}
+	dst = append(dst, byte(st.Status()))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(st.Steps()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(st.Succ()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(st.Pred()))
+	return dst
+}
+
+// RestoreFinal implements congest.PortableProgram.
+func (d *Node) RestoreFinal(src []byte) ([]byte, error) {
+	if len(src) < 17 {
+		return nil, fmt.Errorf("dra: truncated final state (%d bytes)", len(src))
+	}
+	status := Status(src[0])
+	steps := int64(binary.BigEndian.Uint64(src[1:]))
+	succ := graph.NodeID(binary.BigEndian.Uint32(src[9:]))
+	pred := graph.NodeID(binary.BigEndian.Uint32(src[13:]))
+	d.state = NewFinalState(status, steps, succ, pred)
+	return src[17:], nil
 }
 
 // ExtractCycle reconstructs and verifies the Hamiltonian cycle from per-node

@@ -101,6 +101,14 @@ func NewState(ctx *congest.Context, p Params) *State {
 	return s
 }
 
+// NewFinalState builds a terminal-only State carrying exactly the fields
+// result extraction reads (status, step count, cycle pointers). The
+// distributed engine uses it to replay a worker process's outcome into the
+// driver's program structs; the returned State must not Tick.
+func NewFinalState(status Status, steps int64, succ, pred graph.NodeID) *State {
+	return &State{status: status, steps: steps, succ: succ, pred: pred}
+}
+
 // Reset reinitializes the machine in place for a fresh session, reusing the
 // unused-list allocation — the restart and solver-session reuse path that
 // keeps repeated instances from reallocating per-node state.

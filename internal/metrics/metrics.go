@@ -99,6 +99,21 @@ func (c *Counters) Merge(other *Counters) {
 	}
 }
 
+// PerNodeRange returns the [lo, hi) subslices of the per-node memory and
+// work counters. The distributed engine uses it to serialize a shard's
+// per-node metering; the slices alias c and must not be retained.
+func (c *Counters) PerNodeRange(lo, hi int) (mem, work []int64) {
+	return c.perNodeMem[lo:hi], c.perNodeWork[lo:hi]
+}
+
+// SetPerNodeRange copies mem and work into the per-node counters starting at
+// node lo — the restore half of PerNodeRange, used by the coordinator to
+// fold a shard's per-node metering into the run totals.
+func (c *Counters) SetPerNodeRange(lo int, mem, work []int64) {
+	copy(c.perNodeMem[lo:], mem)
+	copy(c.perNodeWork[lo:], work)
+}
+
 // Distribution summarizes a per-node quantity.
 type Distribution struct {
 	Min, Max, Total int64

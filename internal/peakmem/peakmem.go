@@ -2,6 +2,7 @@ package peakmem
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -14,9 +15,11 @@ import (
 // sample is taken synchronously at Start and one at Stop, so even a region
 // shorter than the interval contributes its entry and exit heap sizes.
 type Sampler struct {
-	peak atomic.Uint64
-	stop chan struct{}
-	done chan struct{}
+	peak     atomic.Uint64
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	result   int64
 }
 
 // Start begins sampling at the given interval (<= 0 selects the
@@ -56,10 +59,16 @@ func (s *Sampler) sample() {
 }
 
 // Stop halts sampling, takes a final synchronous sample, and returns the
-// observed high-water mark in bytes. Stop must be called exactly once.
+// observed high-water mark in bytes. Stop is idempotent: the sampler shuts
+// down on the first call and every later call returns the same peak, so
+// callers layering metering regions (or deferring a Stop they may also reach
+// explicitly) cannot panic on a closed channel.
 func (s *Sampler) Stop() int64 {
-	close(s.stop)
-	<-s.done
-	s.sample()
-	return int64(s.peak.Load())
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.sample()
+		s.result = int64(s.peak.Load())
+	})
+	return s.result
 }

@@ -2,6 +2,7 @@ package peakmem
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -42,5 +43,39 @@ func TestPeakSamplerStopIsFinal(t *testing.T) {
 	runtime.KeepAlive(buf)
 	if peak < 32<<20 {
 		t.Fatalf("final Stop sample missed a live %d-byte buffer (peak %d)", 32<<20, peak)
+	}
+}
+
+// TestPeakSamplerStopIsIdempotent: a second Stop must not panic (it used to
+// close an already-closed channel) and must return the same peak as the
+// first, so metering code may both defer Stop and call it explicitly.
+func TestPeakSamplerStopIsIdempotent(t *testing.T) {
+	s := Start(time.Millisecond)
+	first := s.Stop()
+	second := s.Stop()
+	if first != second {
+		t.Fatalf("second Stop returned %d, first returned %d", second, first)
+	}
+}
+
+// TestPeakSamplerStopIsConcurrencySafe: racing Stops (e.g. a deferred Stop
+// colliding with a timeout path) must all return the same settled peak.
+func TestPeakSamplerStopIsConcurrencySafe(t *testing.T) {
+	s := Start(time.Millisecond)
+	const callers = 8
+	peaks := make([]int64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			peaks[i] = s.Stop()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if peaks[i] != peaks[0] {
+			t.Fatalf("caller %d saw peak %d, caller 0 saw %d", i, peaks[i], peaks[0])
+		}
 	}
 }

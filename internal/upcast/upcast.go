@@ -340,11 +340,16 @@ func Run(g *graph.Graph, seed uint64, opts Options, netOpts congest.Options) (*R
 type Session struct {
 	progs []*node
 	nodes []congest.Node
-	net   *congest.Network
+	net   congest.Runner
 }
 
 // NewSession returns an empty session; the first Run sizes it.
 func NewSession() *Session { return &Session{} }
+
+// SetRunner replaces the session's executor — the seam the distributed
+// engine injects its shard cluster through. A nil Runner restores the
+// default in-process Network on the next Run.
+func (sess *Session) SetRunner(r congest.Runner) { sess.net = r }
 
 // Run executes one Upcast trial, honoring ctx at the simulator's amortized
 // cancellation checkpoint. A cancelled run returns ctx's error and leaves
