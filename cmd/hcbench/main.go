@@ -319,6 +319,18 @@ func runJSON(ctx context.Context, p jsonParams) error {
 								rec.Bits = res.Counters.Bits
 								rec.RoundsSkipped = res.Counters.RoundsSkipped
 							}
+							if len(res.ShardStats) > 0 {
+								// Every exchange fans out to all links, so
+								// shard 0's RTT count is the run's.
+								rec.RTTs = res.ShardStats[0].RTTs
+								for _, st := range res.ShardStats {
+									rec.BatchBytesFixed += st.BatchBytesFixed
+									rec.BatchBytesDelta += st.BatchBytesDelta
+								}
+								if executed := rec.Rounds - rec.RoundsSkipped; executed > 0 {
+									rec.RTTsPerRound = float64(rec.RTTs) / float64(executed)
+								}
+							}
 						}
 						rep.Append(rec)
 						fmt.Printf("%s/%s n=%d workers=%d trial=%d: wall=%.3fs ok=%v\n",
@@ -341,6 +353,7 @@ func runJSON(ctx context.Context, p jsonParams) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("benchmark grid canceled; %s not written: %w", p.out, err)
 	}
+	pairDistRecords(rep)
 	if err := rep.Validate(); err != nil {
 		return err
 	}
@@ -356,9 +369,59 @@ func runJSON(ctx context.Context, p jsonParams) error {
 		return err
 	}
 	printSpeedups(rep, p.grid)
+	printDistSummary(rep)
 	fmt.Printf("wrote %s (%d records, schema v%d, host %d-cpu)\n",
 		p.out, len(rep.Records), rep.SchemaVersion, rep.NumCPU)
 	return nil
+}
+
+// pairDistRecords fills each successful dist grid row's DistVsInProc: its
+// wall-clock ratio against the in-process exact row of the same
+// (algo, n, seed, workers) in the same report. Unpaired rows (no exact
+// column in the grid) keep the zero value, which Validate permits.
+func pairDistRecords(rep *bench.Report) {
+	for i := range rep.Records {
+		rec := &rep.Records[i]
+		if rec.Engine != "dist" || !rec.OK || rec.Mode != "" {
+			continue
+		}
+		for j := range rep.Records {
+			base := &rep.Records[j]
+			if base.Engine == "exact" && base.OK && base.Mode == "" &&
+				base.Algo == rec.Algo && base.N == rec.N &&
+				base.Seed == rec.Seed && base.Workers == rec.Workers &&
+				base.WallSeconds > 0 {
+				rec.DistVsInProc = rec.WallSeconds / base.WallSeconds
+				break
+			}
+		}
+	}
+}
+
+// printDistSummary renders the distributed fast-path metrics per dist grid
+// row: RTTs per executed round, the delta encoding's wire savings, and the
+// dist-vs-in-process wall-clock ratio where an exact row pairs with it.
+func printDistSummary(rep *bench.Report) {
+	printed := false
+	for _, rec := range rep.Records {
+		if rec.Engine != "dist" || !rec.OK || rec.Mode != "" {
+			continue
+		}
+		if !printed {
+			fmt.Println("dist fast path:")
+			printed = true
+		}
+		saved := 0.0
+		if rec.BatchBytesFixed > 0 {
+			saved = 100 * (1 - float64(rec.BatchBytesDelta)/float64(rec.BatchBytesFixed))
+		}
+		line := fmt.Sprintf("  %s n=%d shards=%d %s: %.2f RTTs/round, batch bytes -%.0f%%",
+			rec.Algo, rec.N, rec.Shards, rec.Transport, rec.RTTsPerRound, saved)
+		if rec.DistVsInProc > 0 {
+			line += fmt.Sprintf(", %.2fx in-process wall", rec.DistVsInProc)
+		}
+		fmt.Println(line)
+	}
 }
 
 // appendReuseRecords measures the repeated-trial throughput grid: for each

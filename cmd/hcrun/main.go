@@ -139,8 +139,9 @@ func run() error {
 	}
 	if res.ShardStats != nil {
 		for _, st := range res.ShardStats {
-			fmt.Printf("  shard %d [%d,%d): sent=%dB recv=%dB busy=%.3fs\n",
-				st.Shard, st.Lo, st.Hi, st.BytesSent, st.BytesRecv, st.BusySeconds)
+			fmt.Printf("  shard %d [%d,%d): sent=%dB recv=%dB busy=%.3fs rtts=%d local=%d cross=%d batch=%dB (fixed %dB)\n",
+				st.Shard, st.Lo, st.Hi, st.BytesSent, st.BytesRecv, st.BusySeconds,
+				st.RTTs, st.LocalMsgs, st.CrossMsgs, st.BatchBytesDelta, st.BatchBytesFixed)
 		}
 	}
 	if !*quiet {

@@ -48,10 +48,32 @@ func checkDistIdentity(t *testing.T, g *Graph, algo Algorithm, base Options, dis
 	if len(got.ShardStats) != shards {
 		t.Fatalf("%d shard stats for %d shards", len(got.ShardStats), shards)
 	}
+	// The fused protocol's RTT budget is exact: one init exchange, one fused
+	// exchange per executed (non-skipped) round, one FINISH/FINAL collection
+	// — on every link, because exchanges fan out to all shards.
+	wantRTTs := want.Counters.Rounds - want.Counters.RoundsSkipped + 2
+	var routed int64
 	for _, st := range got.ShardStats {
 		if st.BytesSent <= 0 || st.BytesRecv <= 0 || st.NodeN <= 0 {
 			t.Fatalf("shard %d stats not metered: %+v", st.Shard, st)
 		}
+		if st.RTTs != wantRTTs {
+			t.Fatalf("shard %d: %d RTTs for %d executed rounds, want %d",
+				st.Shard, st.RTTs, want.Counters.Rounds-want.Counters.RoundsSkipped, wantRTTs)
+		}
+		if st.BatchBytesFixed <= 0 {
+			t.Fatalf("shard %d: fixed-width batch byte accounting missing: %+v", st.Shard, st)
+		}
+		if st.BatchBytesDelta >= st.BatchBytesFixed {
+			t.Fatalf("shard %d: delta encoding (%d bytes) did not beat fixed-width (%d bytes)",
+				st.Shard, st.BatchBytesDelta, st.BatchBytesFixed)
+		}
+		routed += st.LocalMsgs + st.CrossMsgs
+	}
+	// Local and cross routing are two halves of the same metered stream:
+	// together they must account for every counted message.
+	if routed != want.Counters.Messages {
+		t.Fatalf("local+cross routed messages %d != counted messages %d", routed, want.Counters.Messages)
 	}
 }
 

@@ -119,6 +119,22 @@ type Record struct {
 	// dist row: each shard's vertex range, bytes sent/received through the
 	// frame codec, and busy time inside Step/Deliver calls.
 	ShardStats []dhc.ShardStat `json:"shard_stats,omitempty"`
+	// RTTs is a dist row's coordinator round trips per link (every exchange
+	// fans out to all shards, so links agree), and RTTsPerRound is RTTs
+	// divided by the executed (non-skipped) round count: 1 plus epsilon
+	// under the fused protocol, 2 plus epsilon under the PR 9 two-exchange
+	// protocol. Pure schema-v2 additions, dist rows only.
+	RTTs         int64   `json:"rtts,omitempty"`
+	RTTsPerRound float64 `json:"rtts_per_round,omitempty"`
+	// BatchBytesFixed/BatchBytesDelta total the coordinator->worker deliver
+	// payload cost across shards under the fixed-width reference encoding
+	// versus the delta-varint encoding actually on the wire.
+	BatchBytesFixed int64 `json:"batch_bytes_fixed,omitempty"`
+	BatchBytesDelta int64 `json:"batch_bytes_delta,omitempty"`
+	// DistVsInProc is the dist row's wall-clock ratio against the in-process
+	// exact row of the same (algo, n, seed, workers) in the same report:
+	// above 1 the wire dominates, below 1 the shards out-run one core.
+	DistVsInProc float64 `json:"dist_vs_inproc,omitempty"`
 	// OK is false when the run errored; Error then holds the message.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
@@ -431,7 +447,9 @@ func (r *Report) Validate() error {
 		if rec.Engine == "dist" && rec.Shards < 2 {
 			return fmt.Errorf("bench: record %d is a dist row with shards = %d", i, rec.Shards)
 		}
-		if rec.Engine != "dist" && (rec.Shards != 0 || len(rec.ShardStats) != 0) {
+		if rec.Engine != "dist" && (rec.Shards != 0 || len(rec.ShardStats) != 0 ||
+			rec.RTTs != 0 || rec.RTTsPerRound != 0 ||
+			rec.BatchBytesFixed != 0 || rec.BatchBytesDelta != 0 || rec.DistVsInProc != 0) {
 			return fmt.Errorf("bench: record %d carries shard fields but engine is %q", i, rec.Engine)
 		}
 		if rec.N <= 0 {

@@ -66,6 +66,11 @@ func TestReportValidationRejects(t *testing.T) {
 		{"ok-with-error", func(r *Report) { r.Records[0].Error = "boom" }, "carries error"},
 		{"ok-no-rounds", func(r *Report) { r.Records[0].Rounds = 0 }, "no rounds"},
 		{"fail-no-message", func(r *Report) { r.Records[0].OK = false; r.Records[0].Error = "" }, "without an error"},
+		{"shards-on-inproc", func(r *Report) { r.Records[0].Shards = 3 }, "carries shard fields"},
+		{"rtts-on-inproc", func(r *Report) { r.Records[0].RTTs = 40 }, "carries shard fields"},
+		{"rtts-per-round-on-inproc", func(r *Report) { r.Records[0].RTTsPerRound = 1.1 }, "carries shard fields"},
+		{"batch-bytes-on-inproc", func(r *Report) { r.Records[0].BatchBytesDelta = 9 }, "carries shard fields"},
+		{"ratio-on-inproc", func(r *Report) { r.Records[0].DistVsInProc = 2.5 }, "carries shard fields"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -20,7 +20,11 @@ type Routed struct {
 }
 
 // StepReport is a shard's post-step summary, the coordinator's input for
-// global liveness and scheduling decisions.
+// global liveness and scheduling decisions. Halts are step-time-only and
+// terminal, and Deliver never touches the wake schedule, so everything the
+// coordinator needs to schedule the next round — including the fields that
+// logically describe the (not yet performed) delivery of this round's
+// messages — is already final when Step returns.
 type StepReport struct {
 	// Live is the shard's non-halted node count after the step.
 	Live int
@@ -28,13 +32,20 @@ type StepReport struct {
 	// shard reports a nonzero LegacyLive the whole network must run dense —
 	// the same global rule Network applies via its single scheduler.
 	LegacyLive int
-}
-
-// DeliverReport is a shard's post-delivery summary: whether any local node
-// has a delivery pending for the next round, and the earliest scheduled
-// wake-up among local nodes (WakeOK false when none exists).
-type DeliverReport struct {
-	HasActive    bool
+	// NewlyHalted lists the local indices (vertex - Lo) of nodes that halted
+	// during this step, ascending. The coordinator folds them into its
+	// global halted view so it can decide, for every routed cross-shard
+	// message, whether delivery would activate the destination — the same
+	// has-active rule the in-process deliver computes via msgActive. The
+	// slice is reused by the next Step.
+	NewlyHalted []int32
+	// LocalActive reports whether any locally-retained message targets a
+	// non-halted local node: the shard's contribution to the global
+	// has-active decision for traffic the coordinator never sees.
+	LocalActive bool
+	// EarliestWake/WakeOK mirror the scheduler's earliest pending wake-up
+	// among live local nodes after this step's bookkeeping (WakeOK false
+	// when none exists).
 	EarliestWake int64
 	WakeOK       bool
 }
@@ -51,11 +62,20 @@ type DeliverReport struct {
 // The split of one round across the coordinator protocol:
 //
 //	Step(r)    — build the local active set, invoke nodes, merge wake/halt
-//	             bookkeeping, return the local outbox (sender-ascending).
-//	Deliver(r) — accept the round's inbound messages (the coordinator
-//	             concatenates every shard's batch in shard order, which is
-//	             exactly the global sender-ascending order Network.deliver
-//	             consumes), meter bandwidth and fill inboxes.
+//	             bookkeeping, retain messages whose destination is also
+//	             local, and return only the cross-shard outbox
+//	             (sender-ascending).
+//	Deliver(r) — accept the round's inbound cross-shard messages (the
+//	             coordinator concatenates the other shards' batches in
+//	             shard order) and splice the retained local messages into
+//	             their sender position, reconstructing exactly the global
+//	             sender-ascending order Network.deliver consumes, then
+//	             meter bandwidth and fill inboxes. Local messages never
+//	             cross the wire but are metered identically.
+//
+// Deliver must run before the next Step (the fused coordinator frame does
+// both in order), since Step assumes the previous round's retained local
+// messages have been drained.
 //
 // A Shard is not safe for concurrent use.
 type Shard struct {
@@ -78,6 +98,16 @@ type Shard struct {
 	bwStamp   []int64 // indexed by local receiver
 	bwBits    []int64
 	bwGen     int64
+
+	// localPending holds this round's src/dst-local messages between Step
+	// (which retains them) and Deliver (which splices them back into the
+	// global sender order); newlyHalted is the reused StepReport buffer.
+	localPending []Routed
+	newlyHalted  []int32
+	// localRouted/crossRouted are cumulative message counts by routing
+	// class, the shard's half of the ShardStats local-vs-cross split.
+	localRouted int64
+	crossRouted int64
 }
 
 // NewShard builds the executor for nodes [lo, hi) of an n-vertex network.
@@ -151,11 +181,13 @@ func (s *Shard) Hi() int { return s.hi }
 func (s *Shard) Counters() *metrics.Counters { return s.counters }
 
 // Step executes round `round` (Init when isInit) for the shard's nodes and
-// returns the outbound messages in sender-ascending order. dense selects the
-// every-live-node sweep; it is a global property (Init round, DenseSweep, or
-// a legacy-dense node live anywhere in the network) that only the
-// coordinator can compute, mirroring Network's single-scheduler decision.
-// The returned slice is reused by the next Step.
+// returns the cross-shard outbound messages in sender-ascending order;
+// messages whose destination is also in [Lo, Hi) are retained for the next
+// Deliver instead of being shipped. dense selects the every-live-node sweep;
+// it is a global property (Init round, DenseSweep, or a legacy-dense node
+// live anywhere in the network) that only the coordinator can compute,
+// mirroring Network's single-scheduler decision. The returned slice is
+// reused by the next Step.
 func (s *Shard) Step(round int64, isInit, dense bool) ([]Routed, StepReport, error) {
 	active := s.active[:0]
 	if isInit || dense {
@@ -200,14 +232,18 @@ func (s *Shard) Step(round int64, isInit, dense bool) ([]Routed, StepReport, err
 
 	// Merge in local-id order — the same order the in-process merge loop
 	// visits this range, so error selection, halt bookkeeping and outbox
-	// concatenation are position-identical.
+	// concatenation are position-identical. Splitting the outbox by
+	// destination preserves sender order within each class: the local and
+	// cross streams are both subsequences of the sender-ascending whole.
 	out := s.out[:0]
+	local := s.localPending[:0]
+	nh := s.newlyHalted[:0]
 	eventDriven := !s.net.opts.DenseSweep
 	rep := StepReport{}
 	for _, v := range active {
 		ctx := s.ctxs[v]
 		if ctx.err != nil {
-			s.out = out
+			s.out, s.localPending, s.newlyHalted = out, local, nh
 			rep.Live, rep.LegacyLive = s.live, s.sched.legacyLive
 			return nil, rep, ctx.err
 		}
@@ -216,6 +252,7 @@ func (s *Shard) Step(round int64, isInit, dense bool) ([]Routed, StepReport, err
 			s.halted[v] = true
 			s.live--
 			s.sched.noteHalt(v)
+			nh = append(nh, v)
 		} else if eventDriven {
 			s.sched.noteInvocation(v, round, ctx)
 		}
@@ -227,56 +264,95 @@ func (s *Shard) Step(round int64, isInit, dense bool) ([]Routed, StepReport, err
 		}
 		for i := range ctx.outbox {
 			rm := &ctx.outbox[i]
-			out = append(out, Routed{From: rm.from, To: rm.to, Msg: rm.msg})
+			if t := int(rm.to); t >= s.lo && t < s.hi {
+				local = append(local, Routed{From: rm.from, To: rm.to, Msg: rm.msg})
+			} else {
+				out = append(out, Routed{From: rm.from, To: rm.to, Msg: rm.msg})
+			}
 		}
 	}
-	s.out = out
+	s.out, s.localPending, s.newlyHalted = out, local, nh
+	s.localRouted += int64(len(local))
+	s.crossRouted += int64(len(out))
 	rep.Live, rep.LegacyLive = s.live, s.sched.legacyLive
+	rep.NewlyHalted = nh
+	// Halts are final for the round here, so whether a retained local
+	// message will activate its destination is already decided — the same
+	// judgment the in-process deliver makes via msgActive.
+	for i := range local {
+		if !s.halted[int(local[i].To)-s.lo] {
+			rep.LocalActive = true
+			break
+		}
+	}
+	rep.EarliestWake, rep.WakeOK = s.sched.earliestWake(s.halted)
 	return out, rep, nil
 }
 
 // Deliver routes this round's inbound messages into next-round inbox
 // buckets, enforcing per-edge bandwidth with the same generation-stamped
-// accounting as Network.deliver. batch must be the concatenation of every
-// shard's outbound messages destined here, in shard order — globally
-// sender-ascending, so runs of equal From are contiguous and each run is one
-// bandwidth generation exactly as in-process delivery sees it.
-func (s *Shard) Deliver(round int64, batch []Routed) (DeliverReport, error) {
+// accounting as Network.deliver. inbound must be the concatenation of the
+// OTHER shards' cross-shard messages destined here, in shard order; the
+// messages Step retained locally are spliced back in at their sender
+// position (inbound senders below Lo, then local, then the rest), which
+// reconstructs the global sender-ascending order Network.deliver consumes —
+// runs of equal From stay contiguous, so each run is one bandwidth
+// generation exactly as in-process delivery sees it.
+func (s *Shard) Deliver(round int64, inbound []Routed) error {
 	curFrom := graph.NodeID(-1)
-	for i := range batch {
-		rm := &batch[i]
-		lv := int(rm.To) - s.lo
-		if lv < 0 || lv >= s.hi-s.lo {
-			return s.deliverReport(), fmt.Errorf("congest: shard [%d,%d) received message for node %d", s.lo, s.hi, rm.To)
+	i := 0
+	for ; i < len(inbound) && int(inbound[i].From) < s.lo; i++ {
+		if err := s.deliverOne(round, &inbound[i], &curFrom); err != nil {
+			return err
 		}
-		sz := s.net.codec.Bits(rm.Msg)
-		if rm.From != curFrom {
-			curFrom = rm.From
-			s.bwGen++
-		}
-		if s.bwStamp[lv] != s.bwGen {
-			s.bwStamp[lv] = s.bwGen
-			s.bwBits[lv] = 0
-		}
-		s.bwBits[lv] += sz
-		if s.bwBits[lv] > s.net.opts.BandwidthBits {
-			return s.deliverReport(), fmt.Errorf("%w: edge %d->%d carried %d bits in round %d (budget %d)",
-				ErrBandwidth, rm.From, rm.To, s.bwBits[lv], round, s.net.opts.BandwidthBits)
-		}
-		s.counters.AddMessage(sz)
-		if s.halted[lv] {
-			continue // metered, but a halted node consumes nothing
-		}
-		if len(s.inboxes[lv]) == 0 {
-			s.msgActive = append(s.msgActive, int32(lv))
-		}
-		s.inboxes[lv] = append(s.inboxes[lv], Envelope{From: rm.From, Msg: rm.Msg})
 	}
-	return s.deliverReport(), nil
+	for j := range s.localPending {
+		if err := s.deliverOne(round, &s.localPending[j], &curFrom); err != nil {
+			return err
+		}
+	}
+	s.localPending = s.localPending[:0]
+	for ; i < len(inbound); i++ {
+		if err := s.deliverOne(round, &inbound[i], &curFrom); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (s *Shard) deliverReport() DeliverReport {
-	rep := DeliverReport{HasActive: len(s.msgActive) > 0}
-	rep.EarliestWake, rep.WakeOK = s.sched.earliestWake(s.halted)
-	return rep
+// deliverOne meters and buckets a single message: one position of the
+// in-process deliver loop.
+func (s *Shard) deliverOne(round int64, rm *Routed, curFrom *graph.NodeID) error {
+	lv := int(rm.To) - s.lo
+	if lv < 0 || lv >= s.hi-s.lo {
+		return fmt.Errorf("congest: shard [%d,%d) received message for node %d", s.lo, s.hi, rm.To)
+	}
+	sz := s.net.codec.Bits(rm.Msg)
+	if rm.From != *curFrom {
+		*curFrom = rm.From
+		s.bwGen++
+	}
+	if s.bwStamp[lv] != s.bwGen {
+		s.bwStamp[lv] = s.bwGen
+		s.bwBits[lv] = 0
+	}
+	s.bwBits[lv] += sz
+	if s.bwBits[lv] > s.net.opts.BandwidthBits {
+		return fmt.Errorf("%w: edge %d->%d carried %d bits in round %d (budget %d)",
+			ErrBandwidth, rm.From, rm.To, s.bwBits[lv], round, s.net.opts.BandwidthBits)
+	}
+	s.counters.AddMessage(sz)
+	if s.halted[lv] {
+		return nil // metered, but a halted node consumes nothing
+	}
+	if len(s.inboxes[lv]) == 0 {
+		s.msgActive = append(s.msgActive, int32(lv))
+	}
+	s.inboxes[lv] = append(s.inboxes[lv], Envelope{From: rm.From, Msg: rm.Msg})
+	return nil
 }
+
+// RoutedSplit returns the shard's cumulative message counts by routing
+// class: messages retained and delivered locally versus messages shipped
+// through the coordinator.
+func (s *Shard) RoutedSplit() (local, cross int64) { return s.localRouted, s.crossRouted }

@@ -56,10 +56,10 @@ type Options struct {
 
 // ShardStat is one worker's transport-level accounting for a completed run.
 type ShardStat struct {
-	Shard  int   `json:"shard"`
-	Lo     int   `json:"lo"`
-	Hi     int   `json:"hi"`
-	NodeN  int   `json:"nodes"`
+	Shard int `json:"shard"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	NodeN int `json:"nodes"`
 	// BytesSent/BytesRecv count frame bytes from the coordinator's
 	// perspective, headers included.
 	BytesSent int64 `json:"bytes_sent"`
@@ -67,6 +67,20 @@ type ShardStat struct {
 	// BusySeconds is time the worker spent inside Step/Deliver rather than
 	// blocked on the round barrier (0 when the run ended before FINISH).
 	BusySeconds float64 `json:"busy_seconds"`
+	// RTTs counts coordinator->worker round trips on this link: one per
+	// fused exchange plus one for the FINISH/FINAL collection.
+	RTTs int64 `json:"rtts"`
+	// LocalMsgs/CrossMsgs split the shard's routed messages: retained and
+	// delivered inside the shard versus shipped through the coordinator.
+	// Both are metered identically in the run's Counters.
+	LocalMsgs int64 `json:"local_msgs"`
+	CrossMsgs int64 `json:"cross_msgs"`
+	// BatchBytesFixed/BatchBytesDelta compare batch encodings for the
+	// coordinator->worker deliver payloads: what the PR 9 fixed-width
+	// encoding would have cost versus what the delta-varint encoding
+	// actually put on the wire.
+	BatchBytesFixed int64 `json:"batch_bytes_fixed"`
+	BatchBytesDelta int64 `json:"batch_bytes_delta"`
 }
 
 // Cluster runs a bound network across shard workers. It implements
@@ -174,20 +188,28 @@ func (c *Cluster) RunContext(ctx context.Context, seed uint64) (*metrics.Counter
 
 	links, err := c.accept(ln, k)
 
-	// Teardown must run whatever happens next: close every conn (which
-	// unblocks any worker stuck in a read or a full-buffer write), release
-	// injected hangs, then join — goroutines via the WaitGroup (the
+	// Teardown must run whatever happens next, exactly once: close every
+	// conn (which unblocks any worker — or link ioLoop — stuck in a read or
+	// a full-buffer write), join the per-link I/O goroutines, release
+	// injected hangs, then join workers — goroutines via the WaitGroup (the
 	// happens-before edge extraction relies on), processes via wait-or-kill.
-	defer func() {
+	// It runs explicitly before stats assembly (the frameConn byte counters
+	// are ioLoop-owned until the join) and deferred as a backstop.
+	var coord *coordinator
+	teardown := sync.OnceFunc(func() {
 		for _, l := range links {
 			if nc, ok := l.fc.rw.(net.Conn); ok {
 				nc.Close()
 			}
 		}
+		if coord != nil {
+			coord.stop()
+		}
 		close(unblock)
 		wg.Wait()
 		reapProcs(procs)
-	}()
+	})
+	defer teardown()
 
 	if err != nil {
 		return nil, err
@@ -209,7 +231,8 @@ func (c *Cluster) RunContext(ctx context.Context, seed uint64) (*metrics.Counter
 		}
 	}()
 
-	coord := newCoordinator(links, c.g.N(), c.net, c.net.Progress)
+	coord = newCoordinator(links, c.g.N(), c.net, c.net.Progress)
+	coord.start()
 	counters, runErr := coord.run(ctx, seed)
 	if runErr != nil {
 		// Prefer the context's verdict when the transport error is just the
@@ -218,20 +241,25 @@ func (c *Cluster) RunContext(ctx context.Context, seed uint64) (*metrics.Counter
 			runErr = fmt.Errorf("congest: run canceled in round %d: %w", counters.Rounds, cerr)
 		}
 		// Best-effort abort so live workers exit their serve loops cleanly
-		// before the deferred close.
+		// before the close. The buffer is fresh because the link encoder may
+		// still be pinned by an in-flight frame.
 		for _, l := range links {
-			l.enc.b = l.enc.b[:0]
-			l.enc.u8(frameAbort)
-			_ = l.fc.send(l.enc.b)
+			l.tryPost([]byte{frameAbort})
 		}
 	}
 
+	teardown()
 	c.stats = make([]ShardStat, len(links))
 	for i, l := range links {
 		c.stats[i] = ShardStat{
 			Shard: l.shard, Lo: l.lo, Hi: l.hi, NodeN: l.hi - l.lo,
 			BytesSent: l.fc.bytesOut, BytesRecv: l.fc.bytesIn,
-			BusySeconds: time.Duration(l.busyNanos).Seconds(),
+			BusySeconds:     time.Duration(l.busyNanos).Seconds(),
+			RTTs:            l.rtts,
+			LocalMsgs:       l.localMsgs,
+			CrossMsgs:       l.crossMsgs,
+			BatchBytesFixed: l.batchBytesFixed,
+			BatchBytesDelta: l.batchBytesDelta,
 		}
 	}
 	if runErr != nil {

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -96,6 +97,36 @@ func TestCancelBeatsHungShard(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 20*time.Second {
 		t.Fatalf("cancellation took %v, want ~the 1s context deadline", elapsed)
+	}
+}
+
+// TestFaultsLeakNoGoroutines runs a crash fault and a hang fault back to
+// back and requires the goroutine count to return to its baseline: with a
+// per-link I/O goroutine in the coordinator, a leaked ioLoop (or a worker
+// stuck on an unreleased hang) would show up here even when the runs
+// themselves classify correctly.
+func TestFaultsLeakNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, fault := range []*FaultPlan{
+		{Shard: 1, Round: 2, Mode: "crash"},
+		{Shard: 0, Round: 1, Mode: "hang"},
+	} {
+		cl, err := NewCluster(Options{Shards: 3, StepTimeout: 2 * time.Second, Fault: fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runDRA(context.Background(), cl, 24); !errors.Is(err, ErrShardDown) {
+			t.Fatalf("fault %+v returned %v, want ErrShardDown", fault, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines alive after fault runs, baseline %d", n, baseline)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -4,10 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"dhc/internal/congest"
 	"dhc/internal/metrics"
-	"dhc/internal/wire"
 )
 
 // ErrShardDown marks a transport-level failure: a shard died, its connection
@@ -15,6 +15,19 @@ import (
 // sentinel, so dhc.Classify maps it to FailureError — a dead worker is an
 // infrastructure fault, not evidence about the instance.
 var ErrShardDown = errors.New("dist: shard connection lost")
+
+// linkReq is one unit of work for a link's I/O goroutine: write this frame,
+// and if reply is set, read one frame back.
+type linkReq struct {
+	payload []byte
+	reply   bool
+}
+
+// linkRes is the I/O goroutine's answer to a reply-expecting request.
+type linkRes struct {
+	payload []byte
+	err     error
+}
 
 // link is the coordinator's handle to one shard worker.
 type link struct {
@@ -25,7 +38,23 @@ type link struct {
 	// batch and inbound are reused per-round decode/route buffers.
 	batch   []congest.Routed
 	inbound []congest.Routed
-	// busyNanos arrives with the FINAL frame.
+
+	// Pipelined I/O: reqCh feeds the link's ioLoop goroutine, resCh carries
+	// one in-flight reply back. Capacities are sized so the coordinator
+	// never blocks posting (at most BEGIN plus one fused exchange queued)
+	// and the ioLoop never blocks replying (at most one reply outstanding).
+	reqCh chan linkReq
+	resCh chan linkRes
+	ioErr error // sticky transport error; owned by ioLoop
+
+	// Transport accounting, incremented by the coordinator goroutine.
+	rtts            int64
+	localMsgs       int64
+	crossMsgs       int64
+	batchBytesDelta int64
+	batchBytesFixed int64
+
+	// busyNanos and final arrive with the FINAL frame.
 	busyNanos int64
 	final     []byte
 }
@@ -34,28 +63,80 @@ func (l *link) down(stage string, err error) error {
 	return fmt.Errorf("%w: shard %d (%s): %v", ErrShardDown, l.shard, stage, err)
 }
 
-// stepResult is one shard's decoded STEP reply.
-type stepResult struct {
-	err        error
-	live       int
-	legacyLive int
-	out        []congest.Routed
+// ioLoop is the link's dedicated I/O goroutine: it serializes writes and
+// reads on the connection so the coordinator can fan frames out to every
+// shard and collect replies concurrently instead of visiting links one at a
+// time. A transport error is sticky — every later reply-expecting request
+// reports it immediately instead of touching the dead connection.
+func (l *link) ioLoop() {
+	for req := range l.reqCh {
+		if l.ioErr == nil {
+			l.ioErr = l.fc.send(req.payload)
+		}
+		if !req.reply {
+			continue
+		}
+		if l.ioErr != nil {
+			l.resCh <- linkRes{err: l.ioErr}
+			continue
+		}
+		payload, err := l.fc.recv()
+		if err != nil {
+			l.ioErr = err
+			l.resCh <- linkRes{err: err}
+			continue
+		}
+		l.resCh <- linkRes{payload: payload}
+	}
+}
+
+// post enqueues a frame for the link's ioLoop. The payload must stay
+// untouched until the request is fenced: for reply-expecting requests the
+// fence is collecting the reply, for fire-and-forget frames the caller must
+// use a buffer it never reuses.
+func (l *link) post(payload []byte, reply bool) {
+	l.reqCh <- linkReq{payload: payload, reply: reply}
+}
+
+// tryPost enqueues a frame only if the ioLoop has queue space: best-effort
+// delivery for teardown-path frames (ABORT) that must never block the
+// coordinator behind a dead worker.
+func (l *link) tryPost(payload []byte) {
+	select {
+	case l.reqCh <- linkReq{payload: payload}:
+	default:
+	}
 }
 
 // coordinator drives the round loop over the shard links, replicating
 // congest.Network.RunContext's control flow — liveness check, round budget,
 // quiet-round skipping with charged accounting, amortized cancellation
-// polling — with the per-round work farmed out over the STEP/DELIVER
-// exchanges.
+// polling — with the per-round work farmed out over fused 1-RTT exchanges:
+// each visit to a shard delivers the previous round's cross-shard messages
+// and steps the current round.
+//
+// Fusing moves the liveness decision to the coordinator: it keeps a global
+// halted bitmap (folded from each step reply's newly-halted list) and
+// declares message activity when any routed cross-shard message targets a
+// non-halted node or any shard retained a locally-deliverable message for a
+// non-halted node — exactly the condition under which the in-process deliver
+// would have put a message into a live node's inbox.
 type coordinator struct {
 	links    []*link
 	n        int
-	codec    wire.Codec
 	opts     congest.Options // normalized
 	counters *metrics.Counters
 	progress func(int64)
 
-	// aggregated state from the last completed round
+	// shardTable maps every vertex to its shard index: the lo(i) = i*n/K
+	// partition, precomputed so routing is one load per message.
+	shardTable []int32
+	// halted is the global halted bitmap, monotone (halts are terminal).
+	halted []bool
+
+	ioWG sync.WaitGroup
+
+	// aggregated state from the last completed fused exchange
 	totalLive  int
 	legacyLive int
 	hasActive  bool
@@ -64,39 +145,84 @@ type coordinator struct {
 }
 
 func newCoordinator(links []*link, n int, opts congest.Options, progress func(int64)) *coordinator {
+	for _, l := range links {
+		l.reqCh = make(chan linkReq, 2)
+		l.resCh = make(chan linkRes, 1)
+	}
 	return &coordinator{
-		links:    links,
-		n:        n,
-		codec:    wire.NewCodec(n),
-		opts:     congest.NormalizeOptions(opts, n),
-		counters: metrics.NewCounters(n),
-		progress: progress,
+		links:      links,
+		n:          n,
+		opts:       congest.NormalizeOptions(opts, n),
+		counters:   metrics.NewCounters(n),
+		progress:   progress,
+		shardTable: buildShardTable(n, len(links)),
+		halted:     make([]bool, n),
 	}
 }
 
-// run executes the full protocol: BEGIN, the round loop, FINISH collection.
-// The returned counters always reflect at least the charged rounds; on a
-// clean run they are the complete merged metering.
+// buildShardTable precomputes the vertex-to-shard map for the contiguous
+// near-equal partition lo(i) = i*n/K. Filling by shard range is O(n + k) and
+// correct for every (n, k) including k > n, where trailing shards are empty.
+func buildShardTable(n, k int) []int32 {
+	t := make([]int32, n)
+	for i := 0; i < k; i++ {
+		lo, hi := shardRange(n, k, i)
+		for v := lo; v < hi; v++ {
+			t[v] = int32(i)
+		}
+	}
+	return t
+}
+
+// start launches one ioLoop per link. stop closes the request channels and
+// joins the goroutines; after stop returns, the links' frameConn byte
+// counters are safe to read from the caller's goroutine.
+func (c *coordinator) start() {
+	for _, l := range c.links {
+		c.ioWG.Add(1)
+		go func(l *link) {
+			defer c.ioWG.Done()
+			l.ioLoop()
+		}(l)
+	}
+}
+
+func (c *coordinator) stop() {
+	for _, l := range c.links {
+		close(l.reqCh)
+	}
+	c.ioWG.Wait()
+}
+
+// run executes the full protocol: BEGIN, the fused round loop, FINISH
+// collection. The returned counters always reflect at least the charged
+// rounds; on a clean run they are the complete merged metering.
 func (c *coordinator) run(ctx context.Context, seed uint64) (*metrics.Counters, error) {
 	for _, l := range c.links {
-		l.enc.b = l.enc.b[:0]
-		l.enc.u8(frameBegin)
-		l.enc.u64(seed)
-		if err := l.fc.send(l.enc.b); err != nil {
-			return c.counters, l.down("begin", err)
-		}
+		// A fresh buffer per BEGIN: the frame is fire-and-forget, so the
+		// link's reusable encoder (fenced by reply collection) cannot carry
+		// it.
+		var e enc
+		e.b = make([]byte, 0, 16)
+		e.u8(frameBegin)
+		e.u64(seed)
+		l.post(e.b, false)
 	}
 	if err := ctx.Err(); err != nil {
 		return c.counters, fmt.Errorf("congest: run canceled before round 0: %w", err)
 	}
-	// Init phase (round 0) runs dense by definition.
-	if err := c.stepRound(0, true, true); err != nil {
+	// Init phase (round 0) runs dense by definition; there is no prior round
+	// to deliver.
+	if err := c.fuseRound(-1, 0, true, true); err != nil {
 		return c.counters, err
 	}
+	// pending is the executed round whose deliver is owed to the shards: its
+	// messages ride on the next fused frame, or on FINISH when the run ends.
+	pending := int64(0)
 	sinceCheck := 0
 	for round := int64(1); ; round++ {
 		if c.totalLive == 0 {
-			return c.counters, c.finish()
+			return c.counters, c.finish(pending)
 		}
 		if round > c.opts.MaxRounds {
 			return c.counters, fmt.Errorf("%w: %d rounds", congest.ErrRoundLimit, c.opts.MaxRounds)
@@ -126,9 +252,10 @@ func (c *coordinator) run(ctx context.Context, seed uint64) (*metrics.Counters, 
 			}
 		}
 		dense := c.opts.DenseSweep || c.legacyLive > 0
-		if err := c.stepRound(round, false, dense); err != nil {
+		if err := c.fuseRound(pending, round, false, dense); err != nil {
 			return c.counters, err
 		}
+		pending = round
 	}
 }
 
@@ -150,9 +277,21 @@ func (c *coordinator) nextActiveRound(round int64) (int64, bool) {
 	return w, true
 }
 
-// stepRound executes one round across every shard: STEP fan-out, reply
-// aggregation, destination routing, DELIVER fan-out, report aggregation.
-func (c *coordinator) stepRound(round int64, isInit, dense bool) error {
+// collect blocks for the link's next reply. A transport error becomes an
+// ErrShardDown with the exchange's stage label.
+func (c *coordinator) collect(l *link, stage string) ([]byte, error) {
+	res := <-l.resCh
+	if res.err != nil {
+		return nil, l.down(stage, res.err)
+	}
+	return res.payload, nil
+}
+
+// fuseRound executes one fused exchange across every shard: fan out
+// FUSE(deliverRound, stepRound) carrying each shard's inbound cross-shard
+// batch, collect replies in shard order, fold halts and liveness, and route
+// the new outbound batches by destination.
+func (c *coordinator) fuseRound(deliverRound, stepRound int64, isInit, dense bool) error {
 	var flags byte
 	if isInit {
 		flags |= stepFlagInit
@@ -161,144 +300,161 @@ func (c *coordinator) stepRound(round int64, isInit, dense bool) error {
 		flags |= stepFlagDense
 	}
 	for _, l := range c.links {
-		l.enc.b = l.enc.b[:0]
-		l.enc.u8(frameStep)
-		l.enc.i64(round)
-		l.enc.u8(flags)
-		if err := l.fc.send(l.enc.b); err != nil {
-			return l.down("step send", err)
+		e := &l.enc
+		e.b = e.b[:0]
+		e.u8(frameFuse)
+		e.i64(deliverRound)
+		e.i64(stepRound)
+		e.u8(flags)
+		if deliverRound >= 0 {
+			mark := len(e.b)
+			e.b = appendBatchDelta(e.b, l.inbound)
+			l.batchBytesDelta += int64(len(e.b) - mark)
+			l.batchBytesFixed += fixedBatchLen(l.inbound)
 		}
-	}
-	results := make([]stepResult, len(c.links))
-	c.totalLive, c.legacyLive = 0, 0
-	for i, l := range c.links {
-		payload, err := l.fc.recv()
-		if err != nil {
-			return l.down("step reply", err)
-		}
-		d := dec{b: payload}
-		if tag := d.u8(); tag != frameStepRes {
-			return l.down("step reply", fmt.Errorf("unexpected frame %d", tag))
-		}
-		code := d.u8()
-		msg := d.str()
-		results[i].err = errFromCode(code, msg)
-		results[i].live = int(d.u32())
-		results[i].legacyLive = int(d.u32())
-		l.batch, err = decodeBatch(&d, c.codec, c.n, l.batch)
-		if err != nil {
-			return l.down("step reply", err)
-		}
-		results[i].out = l.batch
-		c.totalLive += results[i].live
-		c.legacyLive += results[i].legacyLive
-	}
-	// A step error aborts before delivery, exactly like the in-process merge
-	// loop. Shard ranges are contiguous and ascending and each shard reports
-	// its first error in local node order, so the lowest erroring shard's
-	// error IS the globally first one.
-	for _, r := range results {
-		if r.err != nil {
-			return r.err
-		}
+		l.post(e.b, true)
+		l.rtts++
 	}
 
-	// Route: split each source batch by destination shard and concatenate
-	// per destination in source-shard order. Each source batch is
-	// sender-ascending and the shard ranges partition the id space in order,
-	// so every destination sees its messages globally sender-ascending —
-	// the exact order congest.deliver consumes in process.
-	for _, dst := range c.links {
-		dst.inbound = dst.inbound[:0]
-	}
-	for _, r := range results {
-		for _, m := range r.out {
-			dst := c.links[c.shardOf(int(m.To))]
-			dst.inbound = append(dst.inbound, m)
-		}
-	}
-	for _, l := range c.links {
-		l.enc.b = l.enc.b[:0]
-		l.enc.u8(frameDeliver)
-		l.enc.i64(round)
-		l.enc.b = appendBatch(l.enc.b, c.codec, l.inbound)
-		if err := l.fc.send(l.enc.b); err != nil {
-			return l.down("deliver send", err)
-		}
-	}
+	// Collect in shard order. Shard ranges are contiguous and ascending and
+	// each shard reports its first error in local node order, so within a
+	// stage the lowest erroring shard's error IS the globally first one; the
+	// deliver stage precedes the step stage because round r's deliver runs
+	// before round r+1's step in the in-process engine.
+	c.totalLive, c.legacyLive = 0, 0
 	c.hasActive, c.wakeOK = false, false
 	c.wakeRound = 0
-	var deliverErr error
+	anyLocalActive := false
+	var deliverErr, stepErr error
 	for _, l := range c.links {
-		payload, err := l.fc.recv()
+		payload, err := c.collect(l, "fuse reply")
 		if err != nil {
-			return l.down("deliver reply", err)
+			return err
 		}
 		d := dec{b: payload}
-		if tag := d.u8(); tag != frameDeliverRes {
-			return l.down("deliver reply", fmt.Errorf("unexpected frame %d", tag))
+		if tag := d.u8(); tag != frameFuseRes {
+			return l.down("fuse reply", fmt.Errorf("unexpected frame %d", tag))
 		}
+		stage := d.u8()
 		code := d.u8()
 		msg := d.str()
-		if err := errFromCode(code, msg); err != nil && deliverErr == nil {
-			deliverErr = err
+		if err := errFromCode(code, msg); err != nil {
+			if stage == stageDeliver {
+				if deliverErr == nil {
+					deliverErr = err
+				}
+			} else if stepErr == nil {
+				stepErr = err
+			}
 		}
-		hasActive := d.bool()
+		c.totalLive += int(d.u32())
+		c.legacyLive += int(d.u32())
+		nh := int(d.u32())
+		if d.err != nil {
+			return l.down("fuse reply", d.err)
+		}
+		if nh < 0 || nh > l.hi-l.lo {
+			return l.down("fuse reply", fmt.Errorf("%d newly halted nodes in a %d-node shard", nh, l.hi-l.lo))
+		}
+		for j := 0; j < nh; j++ {
+			lv := int(d.u32())
+			if lv < 0 || lv >= l.hi-l.lo {
+				return l.down("fuse reply", fmt.Errorf("halted node %d outside shard range", lv))
+			}
+			c.halted[l.lo+lv] = true
+		}
+		localActive := d.bool()
 		wakeOK := d.bool()
 		wake := d.i64()
 		if d.err != nil {
-			return l.down("deliver reply", d.err)
+			return l.down("fuse reply", d.err)
 		}
-		if hasActive {
-			c.hasActive = true
+		l.batch, err = decodeBatchDelta(&d, c.n, l.batch)
+		if err != nil {
+			return l.down("fuse reply", err)
+		}
+		if localActive {
+			anyLocalActive = true
 		}
 		if wakeOK && (!c.wakeOK || wake < c.wakeRound) {
 			c.wakeOK = true
 			c.wakeRound = wake
 		}
 	}
-	return deliverErr
-}
-
-// shardOf maps a vertex to its shard index. Ranges are the contiguous
-// near-equal partition lo(i) = i*n/K.
-func (c *coordinator) shardOf(v int) int {
-	k := len(c.links)
-	i := v * k / c.n
-	// i*n/K rounds down, so the estimate can be off by one in either
-	// direction near a boundary; correct locally.
-	for i < k-1 && v >= c.links[i+1].lo {
-		i++
+	if deliverErr != nil {
+		return deliverErr
 	}
-	for i > 0 && v < c.links[i].lo {
-		i--
+	if stepErr != nil {
+		return stepErr
 	}
-	return i
-}
 
-// finish collects every shard's FINAL frame and merges the metering into the
-// coordinator's counters.
-func (c *coordinator) finish() error {
-	for _, l := range c.links {
-		l.enc.b = l.enc.b[:0]
-		l.enc.u8(frameFinish)
-		if err := l.fc.send(l.enc.b); err != nil {
-			return l.down("finish", err)
+	// Route: split each source batch by destination shard and concatenate
+	// per destination in source-shard order. Each source batch is
+	// sender-ascending and the shard ranges partition the id space in order,
+	// so every destination sees its cross-shard messages in a shape
+	// Shard.Deliver can splice its retained local messages into,
+	// reconstructing the global sender-ascending order congest.deliver
+	// consumes. Message activity is decided here against the halted bitmap:
+	// the in-process deliver drops (but meters) messages to halted nodes, so
+	// only a message to a live node makes the next round non-quiet.
+	for _, dst := range c.links {
+		dst.inbound = dst.inbound[:0]
+	}
+	for _, src := range c.links {
+		src.crossMsgs += int64(len(src.batch))
+		for i := range src.batch {
+			m := src.batch[i]
+			c.links[c.shardTable[m.To]].inbound = append(c.links[c.shardTable[m.To]].inbound, m)
+			if !c.halted[m.To] {
+				c.hasActive = true
+			}
 		}
 	}
+	if anyLocalActive {
+		c.hasActive = true
+	}
+	return nil
+}
+
+// finish flushes the last executed round's deliver to every shard via
+// FINISH — so its messages are metered exactly as the in-process engine
+// meters them — and collects every FINAL frame, merging the metering into
+// the coordinator's counters.
+func (c *coordinator) finish(deliverRound int64) error {
 	for _, l := range c.links {
-		payload, err := l.fc.recv()
+		e := &l.enc
+		e.b = e.b[:0]
+		e.u8(frameFinish)
+		e.i64(deliverRound)
+		if deliverRound >= 0 {
+			mark := len(e.b)
+			e.b = appendBatchDelta(e.b, l.inbound)
+			l.batchBytesDelta += int64(len(e.b) - mark)
+			l.batchBytesFixed += fixedBatchLen(l.inbound)
+		}
+		l.post(e.b, true)
+		l.rtts++
+	}
+	var flushErr error
+	for _, l := range c.links {
+		payload, err := c.collect(l, "final")
 		if err != nil {
-			return l.down("final", err)
+			return err
 		}
 		d := dec{b: payload}
 		if tag := d.u8(); tag != frameFinal {
 			return l.down("final", fmt.Errorf("unexpected frame %d", tag))
 		}
+		code := d.u8()
+		msg := d.str()
+		if err := errFromCode(code, msg); err != nil && flushErr == nil {
+			flushErr = err
+		}
 		if err := decodeCounters(&d, c.counters, l.lo, l.hi); err != nil {
 			return l.down("final", err)
 		}
 		l.busyNanos = d.i64()
+		l.localMsgs = int64(d.u64())
 		final := d.lenPrefixed()
 		if d.err != nil {
 			return l.down("final", d.err)
@@ -306,5 +462,5 @@ func (c *coordinator) finish() error {
 		// Copy: the frame buffer is reused by the next recv.
 		l.final = append([]byte(nil), final...)
 	}
-	return nil
+	return flushErr
 }

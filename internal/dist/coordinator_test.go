@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"dhc/internal/congest"
+)
+
+// pipeCoordinator wires a coordinator to k scripted workers over in-memory
+// net.Pipe connections: the real link ioLoops and frame codec run, but the
+// worker side is a test script instead of a shard — the cheapest way to
+// exercise the coordinator's error aggregation exactly.
+func pipeCoordinator(t *testing.T, n, k int) (*coordinator, []*frameConn) {
+	t.Helper()
+	links := make([]*link, k)
+	workers := make([]*frameConn, k)
+	conns := make([]net.Conn, 0, 2*k)
+	for i := 0; i < k; i++ {
+		a, b := net.Pipe()
+		conns = append(conns, a, b)
+		lo, hi := shardRange(n, k, i)
+		links[i] = &link{shard: i, lo: lo, hi: hi, fc: newFrameConn(a)}
+		workers[i] = newFrameConn(b)
+	}
+	coord := newCoordinator(links, n, congest.Options{BandwidthBits: 64}, nil)
+	coord.start()
+	t.Cleanup(func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		coord.stop()
+	})
+	return coord, workers
+}
+
+// respond consumes frames until a FUSE arrives, answers it with the scripted
+// reply, and exits. Connection errors end the script (the test's cleanup
+// closes the pipes).
+func respond(fc *frameConn, reply []byte) {
+	for {
+		payload, err := fc.recv()
+		if err != nil {
+			return
+		}
+		if len(payload) > 0 && payload[0] == frameFuse {
+			_ = fc.send(reply)
+			return
+		}
+	}
+}
+
+// fuseReply crafts a complete FUSE reply frame with the given error stage,
+// code and message, no halts, no wake, and an empty outbound batch.
+func fuseReply(stage, code byte, msg string, live uint32) []byte {
+	var e enc
+	e.u8(frameFuseRes)
+	e.u8(stage)
+	e.u8(code)
+	e.str(msg)
+	e.u32(live)
+	e.u32(0) // legacyLive
+	e.u32(0) // newly halted count
+	e.bool(false)
+	e.bool(false)
+	e.i64(0)
+	e.b = appendBatchDelta(e.b, nil)
+	return e.b
+}
+
+// TestFuseStepErrorLowestShardWins: when several shards report step-stage
+// errors in the same fused exchange, the lowest shard's error is the
+// globally first one (shard ranges are ascending and each shard reports its
+// first error in local node order), so it must be the one returned.
+func TestFuseStepErrorLowestShardWins(t *testing.T) {
+	coord, workers := pipeCoordinator(t, 30, 3)
+	replies := [][]byte{
+		fuseReply(stageNone, errCodeNone, "", 10),
+		fuseReply(stageStep, errCodeOther, "shard1 exploded", 0),
+		fuseReply(stageStep, errCodeOther, "shard2 exploded", 0),
+	}
+	for i, fc := range workers {
+		go respond(fc, replies[i])
+	}
+	err := coord.fuseRound(-1, 0, true, true)
+	if err == nil || err.Error() != "shard1 exploded" {
+		t.Fatalf("fuseRound = %v, want shard 1's step error", err)
+	}
+}
+
+// TestFuseDeliverErrorBeatsStep: a deliver-stage error from any shard
+// precedes every step-stage error, regardless of shard order, because round
+// r's deliver runs before round r+1's step in the in-process engine. The
+// sentinel identity must survive the wire.
+func TestFuseDeliverErrorBeatsStep(t *testing.T) {
+	coord, workers := pipeCoordinator(t, 20, 2)
+	replies := [][]byte{
+		fuseReply(stageStep, errCodeOther, "step boom", 0),
+		fuseReply(stageDeliver, errCodeBandwidth, "congest: bandwidth exceeded: edge 3->12", 0),
+	}
+	for i, fc := range workers {
+		go respond(fc, replies[i])
+	}
+	err := coord.fuseRound(0, 1, false, true)
+	if err == nil || !errors.Is(err, congest.ErrBandwidth) {
+		t.Fatalf("fuseRound = %v, want shard 1's deliver-stage bandwidth error", err)
+	}
+	if strings.Contains(err.Error(), "step boom") {
+		t.Fatalf("step-stage error won over deliver-stage: %v", err)
+	}
+}
+
+// TestFuseTruncatedReplyIsShardDown: a reply frame that ends mid-field is a
+// transport fault, not an algorithm error — it must surface as ErrShardDown
+// carrying the exchange's stage label and the shard index.
+func TestFuseTruncatedReplyIsShardDown(t *testing.T) {
+	coord, workers := pipeCoordinator(t, 20, 2)
+	replies := [][]byte{
+		fuseReply(stageNone, errCodeNone, "", 10),
+		{frameFuseRes, stageNone}, // ends before the error code
+	}
+	for i, fc := range workers {
+		go respond(fc, replies[i])
+	}
+	err := coord.fuseRound(-1, 0, true, true)
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("truncated reply returned %v, want ErrShardDown", err)
+	}
+	if !strings.Contains(err.Error(), "fuse reply") || !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("truncated reply lost its stage/shard label: %v", err)
+	}
+}
+
+// TestShardTableMatchesPartition is the property test for the precomputed
+// routing table: for adversarial (n, k) including k > n, every vertex must
+// map to the shard whose lo(i) = i*n/k range contains it.
+func TestShardTableMatchesPartition(t *testing.T) {
+	cases := [][2]int{
+		{1, 1}, {2, 5}, {3, 8}, {5, 2}, {10, 10}, {16, 3},
+		{17, 4}, {64, 5}, {97, 7}, {100, 101}, {1000, 13},
+	}
+	for _, c := range cases {
+		n, k := c[0], c[1]
+		table := buildShardTable(n, k)
+		if len(table) != n {
+			t.Fatalf("(n=%d,k=%d): table has %d entries", n, k, len(table))
+		}
+		for v := 0; v < n; v++ {
+			i := int(table[v])
+			if i < 0 || i >= k {
+				t.Fatalf("(n=%d,k=%d): vertex %d mapped to shard %d of %d", n, k, v, i, k)
+			}
+			lo, hi := shardRange(n, k, i)
+			if v < lo || v >= hi {
+				t.Fatalf("(n=%d,k=%d): vertex %d mapped to shard %d with range [%d,%d)", n, k, v, i, lo, hi)
+			}
+			if v > 0 && int(table[v-1]) > i {
+				t.Fatalf("(n=%d,k=%d): table not monotone at vertex %d", n, k, v)
+			}
+		}
+	}
+}

@@ -9,19 +9,34 @@
 // mechanism is structural: each shard runs congest.Shard — the in-process
 // round machinery restricted to a vertex range — and the coordinator
 // replicates congest.Network's round loop (round skipping, budget charging,
-// the dense/legacy global rule) over two exchanges per executed round:
+// the dense/legacy global rule) over ONE fused exchange per executed round:
 //
-//	STEP(r):    every shard builds its local active set, invokes its nodes,
-//	            and returns its outbound messages in sender-ascending order.
-//	DELIVER(r): the coordinator routes each shard's batch by destination
-//	            range and concatenates the per-destination pieces in shard
-//	            order — which is exactly the global sender-ascending order
-//	            the in-process deliver consumes — then every shard meters
-//	            bandwidth and fills its inboxes.
+//	FUSE(d, r): every shard first delivers round d's inbound cross-shard
+//	            messages (splicing back the messages it retained locally at
+//	            step time, reconstructing the global sender-ascending order
+//	            the in-process deliver consumes), then builds its local
+//	            active set for round r, invokes its nodes, and returns its
+//	            cross-shard outbound messages plus the scheduling facts the
+//	            coordinator needs (newly-halted nodes, local pending
+//	            activity, earliest wake).
 //
-// The round-barrier handshake is the frame protocol itself: a round's
-// DELIVER frames are sent only after every shard's STEP reply arrived, so no
-// shard can observe round r+1 before round r is globally complete.
+// Fusing is sound because delivery never touches the scheduler: the
+// liveness/wake aggregation the coordinator performs between rounds only
+// gates the NEXT fused frame, so a shard can route round d and step round
+// r = d+1 in one visit. A final FINISH frame carries the last round's
+// deliver so its messages are metered exactly as in-process (the oracle
+// delivers even when every node has halted).
+//
+// The round-barrier handshake is the frame protocol itself: round r+1's
+// FUSE frames are sent only after every shard's round-r reply arrived, so no
+// shard can observe round r+1 before round r is globally complete. Each link
+// runs a dedicated I/O goroutine, so fan-out and reply collection overlap
+// across shards; replies are aggregated in shard order for determinism.
+//
+// Cross-shard batches are delta-varint coded: outboxes are sender-ascending,
+// so From is delta-coded and ids/args are varint-coded, shrinking the wire
+// form well below the fixed-width reference encoding (appendBatch), which is
+// retained as the codec oracle in tests.
 //
 // The in-process engine remains the oracle: differential tests solve the
 // same instances both ways and assert byte-identical results and counters.
@@ -33,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"time"
 
@@ -44,22 +60,30 @@ import (
 // Frame types. Every frame on the wire is a 4-byte big-endian payload length
 // followed by the payload, whose first byte is one of these tags.
 const (
-	frameHello     byte = 1  // worker -> coordinator: u32 shard index
-	frameConfig    byte = 2  // coordinator -> proc worker: run configuration + graph
-	frameBegin     byte = 3  // coordinator -> worker: u64 seed
-	frameStep      byte = 4  // coordinator -> worker: i64 round, u8 flags
-	frameStepRes   byte = 5  // worker -> coordinator: err, live, legacyLive, routed batch
-	frameDeliver   byte = 6  // coordinator -> worker: i64 round, routed batch
-	frameDeliverRes byte = 7 // worker -> coordinator: err, hasActive, wake
-	frameFinish    byte = 8  // coordinator -> worker: collect results
-	frameFinal     byte = 9  // worker -> coordinator: counters + final program states
-	frameAbort     byte = 10 // coordinator -> worker: tear down
+	frameHello   byte = 1 // worker -> coordinator: u32 shard index
+	frameConfig  byte = 2 // coordinator -> proc worker: run configuration + graph
+	frameBegin   byte = 3 // coordinator -> worker: u64 seed
+	frameFuse    byte = 4 // coordinator -> worker: i64 deliver round (-1 = none), i64 step round, u8 flags, delta batch
+	frameFuseRes byte = 5 // worker -> coordinator: stage, err, live, legacyLive, newly halted, local activity, wake, delta batch
+	frameFinish  byte = 6 // coordinator -> worker: i64 deliver round (-1 = none), delta batch (final flush)
+	frameFinal   byte = 7 // worker -> coordinator: err, counters, busy, local-routed count, final program states
+	frameAbort   byte = 8 // coordinator -> worker: tear down
 )
 
 // Step flag bits.
 const (
 	stepFlagInit  byte = 1 << 0
 	stepFlagDense byte = 1 << 1
+)
+
+// Fused-reply stage labels: which half of a fused exchange an error came
+// from. The coordinator aggregates deliver-stage errors ahead of step-stage
+// errors to match the in-process engine's observation order (round r's
+// deliver fails before round r+1's step runs).
+const (
+	stageNone    byte = 0
+	stageDeliver byte = 1
+	stageStep    byte = 2
 )
 
 // maxFramePayload bounds a single frame. A round's batch for one shard is at
@@ -264,9 +288,128 @@ func (d *dec) lenPrefixed() []byte {
 
 func (d *dec) str() string { return string(d.lenPrefixed()) }
 
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// appendBatchDelta appends a batch in the delta-varint wire form: a uvarint
+// count, then per record a uvarint From delta (From minus the previous
+// record's From; the implicit predecessor is 0), a uvarint To, the kind and
+// arg-count bytes, and each argument as a zigzag varint. batch must be
+// sender-ascending (non-decreasing From), which both Shard.Step outboxes and
+// the coordinator's shard-order routing guarantee; the encoding exploits it
+// so runs of one sender cost a single delta byte each.
+func appendBatchDelta(dst []byte, batch []congest.Routed) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	prev := uint64(0)
+	for i := range batch {
+		r := &batch[i]
+		from := uint64(uint32(r.From))
+		dst = binary.AppendUvarint(dst, from-prev)
+		prev = from
+		dst = binary.AppendUvarint(dst, uint64(uint32(r.To)))
+		dst = append(dst, byte(r.Msg.Kind), r.Msg.NArgs)
+		for j := 0; j < int(r.Msg.NArgs); j++ {
+			dst = binary.AppendVarint(dst, int64(r.Msg.Args[j]))
+		}
+	}
+	return dst
+}
+
+// decodeBatchDelta parses an appendBatchDelta section, validating every kind,
+// arg count, and endpoint exactly as the fixed-width decoder does. From is
+// reconstructed by prefix sum, so the output is sender-ascending by
+// construction. dst is reused; the returned slice is valid until the
+// caller's next decode. Any strict prefix of a valid encoding fails: a
+// truncated varint keeps its continuation bit, and a truncated record runs
+// out of payload before the count is satisfied.
+func decodeBatchDelta(d *dec, n int, dst []congest.Routed) ([]congest.Routed, error) {
+	count := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Each record is at least 1+1+1+1 bytes (delta, to, kind, nargs); a
+	// count beyond that bound is a corrupt frame, rejected before any
+	// allocation proportional to it.
+	if count*4 > uint64(len(d.b)) {
+		return nil, fmt.Errorf("dist: batch count %d exceeds frame capacity", count)
+	}
+	dst = dst[:0]
+	from := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		from += d.uvarint()
+		to := d.uvarint()
+		kind := wire.Kind(d.u8())
+		nargs := d.u8()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if !kind.Valid() {
+			return nil, fmt.Errorf("dist: unknown kind %d", kind)
+		}
+		msg := wire.Message{Kind: kind, NArgs: nargs}
+		if int(nargs) > len(msg.Args) {
+			return nil, fmt.Errorf("dist: corrupt message record (nargs %d)", nargs)
+		}
+		for j := 0; j < int(nargs); j++ {
+			a := d.varint()
+			if a < math.MinInt32 || a > math.MaxInt32 {
+				return nil, fmt.Errorf("dist: message arg %d outside int32 range", a)
+			}
+			msg.Args[j] = int32(a)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if from >= uint64(n) || to >= uint64(n) {
+			return nil, fmt.Errorf("dist: message endpoints %d->%d outside %d-vertex graph", from, to, n)
+		}
+		dst = append(dst, congest.Routed{From: graph.NodeID(from), To: graph.NodeID(to), Msg: msg})
+	}
+	return dst, nil
+}
+
+// fixedBatchLen returns the byte length appendBatch would produce for batch:
+// the PR 9 fixed-width reference cost, kept for before/after wire-byte
+// accounting in ShardStats.
+func fixedBatchLen(batch []congest.Routed) int64 {
+	n := int64(4)
+	for i := range batch {
+		n += 10 + 4*int64(batch[i].Msg.NArgs)
+	}
+	return n
+}
+
 // appendRouted appends one routed message record: sender, receiver, then the
 // message in the internal/wire codec's byte form (kind, arg count, 4-byte
-// big-endian args).
+// big-endian args). Together with appendBatch/decodeBatch it is the
+// fixed-width reference encoding: no longer on the wire, but kept as the
+// oracle the delta codec's tests compare against.
 func appendRouted(dst []byte, codec wire.Codec, r congest.Routed) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.From))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.To))

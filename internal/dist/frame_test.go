@@ -2,12 +2,15 @@ package dist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
 	"dhc/internal/congest"
 	"dhc/internal/graph"
+	"dhc/internal/rng"
 	"dhc/internal/wire"
 )
 
@@ -246,6 +249,191 @@ func FuzzDecodeBatch(f *testing.F) {
 			}
 			if rec.Msg.NArgs > 4 {
 				t.Fatalf("record %d has %d args", i, rec.Msg.NArgs)
+			}
+		}
+	})
+}
+
+// sortedBatch is randomBatch with senders made non-decreasing — the
+// precondition the delta encoder inherits from Step's sender-ascending
+// outboxes.
+func sortedBatch(r *rand.Rand, n, size int) []congest.Routed {
+	batch := randomBatch(r, n, size)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].From < batch[j].From })
+	return batch
+}
+
+// TestBatchDeltaRoundTrip encodes sender-ascending random batches with the
+// delta-varint codec and decodes them back verbatim, and pins the point of
+// the encoding: it is never larger than the fixed-width reference.
+func TestBatchDeltaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		batch := sortedBatch(r, 512, r.Intn(40))
+		enc := appendBatchDelta(nil, batch)
+		if int64(len(enc)) > fixedBatchLen(batch) {
+			t.Fatalf("trial %d: delta form %d bytes exceeds fixed form %d", trial, len(enc), fixedBatchLen(batch))
+		}
+		d := dec{b: enc}
+		got, err := decodeBatchDelta(&d, 512, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(got), len(batch))
+		}
+		for i := range got {
+			if got[i] != batch[i] {
+				t.Fatalf("trial %d record %d: %+v != %+v", trial, i, got[i], batch[i])
+			}
+		}
+		if len(d.b) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(d.b))
+		}
+	}
+}
+
+// TestBatchDeltaTruncationAlwaysErrors is the truncation property for the
+// delta codec: every strict prefix of a valid encoding must decode to an
+// error — truncated varints keep their continuation bit, and a truncated
+// record runs out of payload before the count is satisfied.
+func TestBatchDeltaTruncationAlwaysErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	full := appendBatchDelta(nil, sortedBatch(r, 128, 12))
+	for cut := 0; cut < len(full); cut++ {
+		d := dec{b: full[:cut]}
+		if _, err := decodeBatchDelta(&d, 128, nil); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestDecodeBatchDeltaRejectsCorrupt covers the delta decoder's validation:
+// a lying count, an unknown kind, an impossible arg count, an out-of-range
+// endpoint, and an argument outside int32.
+func TestDecodeBatchDeltaRejectsCorrupt(t *testing.T) {
+	valid := func() []byte {
+		return appendBatchDelta(nil, []congest.Routed{
+			{From: 1, To: 2, Msg: wire.Msg(wire.KindToken, 3)},
+		})
+	}
+	check := func(t *testing.T, enc []byte, n int, wantSub string) {
+		t.Helper()
+		d := dec{b: enc}
+		if _, err := decodeBatchDelta(&d, n, nil); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("got %v, want error containing %q", err, wantSub)
+		}
+	}
+	t.Run("count-beyond-capacity", func(t *testing.T) {
+		enc := valid()
+		enc[0] = 0xFF // uvarint count far beyond the payload
+		check(t, append([]byte{0xFF, 0xFF, 0x7F}, enc[1:]...), 16, "exceeds frame capacity")
+	})
+	t.Run("unknown-kind", func(t *testing.T) {
+		enc := valid()
+		enc[3] = 0xEE // kind byte: count, dFrom, to precede it
+		check(t, enc, 16, "unknown kind")
+	})
+	t.Run("nargs-too-large", func(t *testing.T) {
+		enc := valid()
+		enc[4] = 9 // arg-count byte
+		check(t, enc, 16, "corrupt message record")
+	})
+	t.Run("endpoint-out-of-range", func(t *testing.T) {
+		enc := appendBatchDelta(nil, []congest.Routed{
+			{From: 1, To: 15, Msg: wire.Msg(wire.KindToken, 3)},
+		})
+		check(t, enc, 8, "outside")
+	})
+	t.Run("arg-outside-int32", func(t *testing.T) {
+		enc := valid()[:5] // keep count, dFrom, to, kind, nargs=1
+		enc = binary.AppendVarint(enc, int64(1)<<40)
+		check(t, enc, 16, "outside int32 range")
+	})
+}
+
+// corpusBatches runs a real 4-shard DRA round over the actual shard engine
+// and returns the delta-encoded wire batches it produces: the fuzz corpus is
+// seeded with genuine protocol traffic, not just synthetic records.
+func corpusBatches(tb testing.TB) [][]byte {
+	const n, k = 32, 4
+	g := graph.GNP(n, 0.5, rng.New(9))
+	shards := make([]*congest.Shard, k)
+	for i := 0; i < k; i++ {
+		lo, hi := shardRange(n, k, i)
+		progs, err := BuildPrograms(congest.ProgramSpec{Algo: "dra", B: 8}, lo, hi)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sh, err := congest.NewShard(g, progs, congest.Options{BandwidthBits: 64}, lo, hi)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sh.Seed(11)
+		shards[i] = sh
+	}
+	var corpus [][]byte
+	step := func(round int64, isInit bool) {
+		outs := make([][]congest.Routed, k)
+		for i, sh := range shards {
+			out, _, err := sh.Step(round, isInit, true)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			outs[i] = out
+			corpus = append(corpus, appendBatchDelta(nil, out))
+		}
+		// Route cross-shard traffic and deliver, so the next step produces
+		// genuine second-round batches.
+		for i, sh := range shards {
+			lo, hi := shardRange(n, k, i)
+			var inbound []congest.Routed
+			for s := 0; s < k; s++ {
+				for _, m := range outs[s] {
+					if int(m.To) >= lo && int(m.To) < hi {
+						inbound = append(inbound, m)
+					}
+				}
+			}
+			if err := sh.Deliver(round, inbound); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	step(0, true)
+	step(1, false)
+	return corpus
+}
+
+// FuzzDecodeBatchDelta feeds arbitrary bytes to the delta batch decoder,
+// seeded with real 4-shard run traffic. The invariants: no panic, and any
+// successful decode yields only in-range endpoints, valid kinds, and a
+// sender-ascending record order (the structural property routing relies on).
+func FuzzDecodeBatchDelta(f *testing.F) {
+	r := rand.New(rand.NewSource(3))
+	f.Add([]byte{})
+	f.Add(appendBatchDelta(nil, sortedBatch(r, 32, 5)))
+	for _, b := range corpusBatches(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := dec{b: data}
+		batch, err := decodeBatchDelta(&d, 32, nil)
+		if err != nil {
+			return
+		}
+		for i, rec := range batch {
+			if rec.From < 0 || int(rec.From) >= 32 || rec.To < 0 || int(rec.To) >= 32 {
+				t.Fatalf("record %d has out-of-range endpoints %d->%d", i, rec.From, rec.To)
+			}
+			if !rec.Msg.Kind.Valid() {
+				t.Fatalf("record %d has invalid kind %d", i, rec.Msg.Kind)
+			}
+			if rec.Msg.NArgs > 4 {
+				t.Fatalf("record %d has %d args", i, rec.Msg.NArgs)
+			}
+			if i > 0 && rec.From < batch[i-1].From {
+				t.Fatalf("sender order violated at %d: %d after %d", i, rec.From, batch[i-1].From)
 			}
 		}
 	})

@@ -11,8 +11,9 @@ import (
 )
 
 // FaultPlan injects a shard failure for chaos and classification tests: at
-// the STEP frame for round Round, the selected shard either crashes (drops
-// its connection) or hangs (stops replying until torn down). The coordinator
+// the fused frame whose step half executes round Round, the selected shard
+// either crashes (drops its connection) or hangs (stops replying until torn
+// down). The coordinator
 // must turn either into a classified error within its deadline — never a
 // hang, never a corrupt partial round.
 type FaultPlan struct {
@@ -54,10 +55,11 @@ func ServeShard(rw io.ReadWriter, shard *congest.Shard, opts ServeOptions) error
 // miss payloads sitting in the old one's read buffer).
 func serveFrames(fc *frameConn, shard *congest.Shard, opts ServeOptions) error {
 	var (
-		e       enc
-		batch   []congest.Routed
-		busy    time.Duration
-		stepErr error // sticky: a step/deliver error is reported, then the loop idles until ABORT
+		e        enc
+		batch    []congest.Routed
+		busy     time.Duration
+		stepErr  error // sticky: a step/deliver error is reported, then the loop idles until teardown
+		errStage byte  // which half of a fused exchange stepErr came from
 	)
 	for {
 		payload, err := fc.recv()
@@ -72,13 +74,17 @@ func serveFrames(fc *frameConn, shard *congest.Shard, opts ServeOptions) error {
 				return d.err
 			}
 			shard.Seed(seed)
-		case frameStep:
-			round := d.i64()
+		case frameFuse:
+			deliverRound := d.i64()
+			stepRound := d.i64()
 			flags := d.u8()
 			if d.err != nil {
 				return d.err
 			}
-			if f := opts.Fault; f != nil && round >= f.Round {
+			// Faults key on the step round so a "round r" fault plan still
+			// means "while executing round r", exactly as under the
+			// unfused protocol.
+			if f := opts.Fault; f != nil && stepRound >= f.Round {
 				switch f.Mode {
 				case "hang":
 					if opts.Unblock != nil {
@@ -91,58 +97,77 @@ func serveFrames(fc *frameConn, shard *congest.Shard, opts ServeOptions) error {
 					return errFaultCrash // the deferred conn close is the crash
 				}
 			}
+			if stepErr == nil && deliverRound >= 0 {
+				var derr error
+				batch, derr = decodeBatchDelta(&d, shard.N(), batch)
+				if derr != nil {
+					return derr
+				}
+				start := time.Now()
+				stepErr = shard.Deliver(deliverRound, batch)
+				busy += time.Since(start)
+				if stepErr != nil {
+					errStage = stageDeliver
+				}
+			}
 			var (
 				out []congest.Routed
 				rep congest.StepReport
 			)
 			if stepErr == nil {
 				start := time.Now()
-				out, rep, stepErr = shard.Step(round, flags&stepFlagInit != 0, flags&stepFlagDense != 0)
+				out, rep, stepErr = shard.Step(stepRound, flags&stepFlagInit != 0, flags&stepFlagDense != 0)
 				busy += time.Since(start)
+				if stepErr != nil {
+					errStage = stageStep
+				}
 			}
 			e.b = e.b[:0]
-			e.u8(frameStepRes)
+			e.u8(frameFuseRes)
+			e.u8(errStage)
 			code, msg := errToCode(stepErr)
 			e.u8(code)
 			e.str(msg)
 			e.u32(uint32(rep.Live))
 			e.u32(uint32(rep.LegacyLive))
-			e.b = appendBatch(e.b, shard.Codec(), out)
-			if err := fc.send(e.b); err != nil {
-				return err
+			e.u32(uint32(len(rep.NewlyHalted)))
+			for _, lv := range rep.NewlyHalted {
+				e.u32(uint32(lv))
 			}
-		case frameDeliver:
-			round := d.i64()
-			if d.err != nil {
-				return d.err
-			}
-			var rep congest.DeliverReport
-			if stepErr == nil {
-				var derr error
-				batch, derr = decodeBatch(&d, shard.Codec(), shard.N(), batch)
-				if derr != nil {
-					return derr
-				}
-				start := time.Now()
-				rep, stepErr = shard.Deliver(round, batch)
-				busy += time.Since(start)
-			}
-			e.b = e.b[:0]
-			e.u8(frameDeliverRes)
-			code, msg := errToCode(stepErr)
-			e.u8(code)
-			e.str(msg)
-			e.bool(rep.HasActive)
+			e.bool(rep.LocalActive)
 			e.bool(rep.WakeOK)
 			e.i64(rep.EarliestWake)
+			e.b = appendBatchDelta(e.b, out)
 			if err := fc.send(e.b); err != nil {
 				return err
 			}
 		case frameFinish:
+			deliverRound := d.i64()
+			if d.err != nil {
+				return d.err
+			}
+			// The final flush: the in-process engine delivers the last
+			// executed round's messages even when every node has halted, so
+			// they are metered. Route them here for the same counters.
+			if stepErr == nil && deliverRound >= 0 {
+				var derr error
+				batch, derr = decodeBatchDelta(&d, shard.N(), batch)
+				if derr != nil {
+					return derr
+				}
+				start := time.Now()
+				stepErr = shard.Deliver(deliverRound, batch)
+				busy += time.Since(start)
+			}
 			e.b = e.b[:0]
 			e.u8(frameFinal)
+			code, msg := errToCode(stepErr)
+			e.u8(code)
+			e.str(msg)
 			appendCounters(&e, shard.Counters(), shard.Lo(), shard.Hi())
 			e.i64(int64(busy))
+			local, _ := shard.RoutedSplit()
+			e.u64(uint64(local))
 			var final []byte
 			if opts.FinalState != nil {
 				final = opts.FinalState()

@@ -172,6 +172,11 @@ func NewCodec(n int) Codec {
 	return Codec{IDBits: bits.Len(uint(n - 1))}
 }
 
+// Valid reports whether k is a defined message kind. Decoders that rebuild
+// messages field by field (rather than through Codec.Decode's byte form) use
+// it to apply the same kind validation.
+func (k Kind) Valid() bool { return k > 0 && k < kindMax }
+
 // kindBits is the width of the kind field. 8 bits covers all kinds with room
 // for application extensions.
 const kindBits = 8
